@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: fixed-width table
+ * printing and scientific-notation formatting matching the paper's
+ * number style.
+ */
+
+#ifndef SUPERBNN_BENCH_BENCH_UTIL_H
+#define SUPERBNN_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace bench_util {
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Format like the paper: 1.9e+05 -> "1.9x10^5". */
+inline std::string
+sci(double v)
+{
+    if (v == 0.0)
+        return "0";
+    const int exp = static_cast<int>(std::floor(std::log10(std::fabs(v))));
+    if (exp >= -2 && exp <= 3) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return buf;
+    }
+    const double mant = v / std::pow(10.0, exp);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx10^%d", mant, exp);
+    return buf;
+}
+
+} // namespace bench_util
+
+#endif // SUPERBNN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces the Section 4.4 clocking-scheme optimization numbers: total
+ * JJ reduction from path-balancing buffer removal under 8-/16-phase
+ * compute clocking (paper: at least 20.8% / 27.3%) and the 20% memory
+ * reduction from 4-to-3-phase buffer-chain-memory clocking.
+ */
+
+#include <cstdio>
+
+#include "aqfp/clocking.h"
+#include "bench_util.h"
+
+using namespace superbnn;
+using namespace superbnn::aqfp;
+
+int
+main()
+{
+    bench_util::header("Sec 4.4: compute-logic clocking (path balancing)");
+    Rng rng(2023);
+    const auto net = LogicNetlist::random(4000, 24, 0.5, rng);
+    const ClockingOptimizer opt;
+    std::printf("%8s %12s %12s %12s %14s\n", "phases", "logic JJ",
+                "buffer JJ", "total JJ", "reduction");
+    for (const auto &rep : opt.compare(net)) {
+        std::printf("%8zu %12zu %12zu %12zu %13.1f%%\n", rep.phases,
+                    rep.logicJj, rep.bufferJj, rep.totalJj,
+                    100.0 * rep.reductionVs4Phase);
+    }
+    std::printf("paper: >= 20.8%% (8-phase), >= 27.3%% (16-phase)\n");
+
+    bench_util::header("Sensitivity to netlist skew (skip bias)");
+    std::printf("%10s %14s %14s\n", "skip bias", "8-phase red.",
+                "16-phase red.");
+    for (double bias : {0.3, 0.4, 0.5, 0.6}) {
+        Rng r2(2023);
+        const auto n2 = LogicNetlist::random(4000, 24, bias, r2);
+        const auto reps = opt.compare(n2);
+        std::printf("%10.2f %13.1f%% %13.1f%%\n", bias,
+                    100.0 * reps[1].reductionVs4Phase,
+                    100.0 * reps[2].reductionVs4Phase);
+    }
+
+    bench_util::header("Sec 4.4: buffer-chain memory, 4 -> 3 phases");
+    const BufferChainMemory mem4(1024, 16, 4);
+    const BufferChainMemory mem3(1024, 16, 3);
+    std::printf("4-phase BCM: %zu JJs; 3-phase BCM: %zu JJs; "
+                "reduction %.1f%% (paper: 20%%)\n",
+                mem4.totalJj(), mem3.totalJj(),
+                100.0
+                    * (1.0
+                       - static_cast<double>(mem3.totalJj())
+                           / mem4.totalJj()));
+    return 0;
+}

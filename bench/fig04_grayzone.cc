@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 4: the probability of an AQFP buffer emitting '1'
+ * versus input current amplitude, with the randomized-switching boundary
+ * around +/-2 uA, plus the temperature dependence of the gray-zone width
+ * (Walls et al. model, Section 4.2).
+ */
+
+#include <cstdio>
+
+#include "aqfp/grayzone.h"
+#include "aqfp/noise.h"
+#include "bench_util.h"
+
+using namespace superbnn;
+using namespace superbnn::aqfp;
+
+int
+main()
+{
+    bench_util::header("Figure 4: P(output = 1) vs input current");
+    const GrayZoneModel model(2.4, 0.0);
+    Rng rng(7);
+    std::printf("%10s %12s %12s\n", "Iin (uA)", "P(1) analytic",
+                "P(1) sampled");
+    for (double iin = -4.0; iin <= 4.0001; iin += 0.5) {
+        const int trials = 20000;
+        int ones = 0;
+        for (int t = 0; t < trials; ++t)
+            ones += model.sampleBit(iin, rng);
+        std::printf("%10.2f %12.4f %12.4f\n", iin, model.probOne(iin),
+                    static_cast<double>(ones) / trials);
+    }
+    std::printf("\nrandomized-switching boundary (P in [0.01, 0.99]): "
+                "+/- %.2f uA (paper: ~2 uA)\n",
+                model.deterministicBoundary(0.01));
+
+    bench_util::header("Gray-zone width vs temperature (4.2 K scope)");
+    const ThermalNoiseModel noise;
+    std::printf("%8s %16s\n", "T (K)", "deltaIin (uA)");
+    for (double t : {0.0, 1.0, 2.0, 4.2, 8.0, 16.0})
+        std::printf("%8.1f %16.3f\n", t, noise.grayZoneWidth(t));
+    std::printf("operating point 4.2 K -> deltaIin = %.2f uA "
+                "(paper default 2.4 uA)\n",
+                noise.grayZoneWidth(4.2));
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Figure 5: the crossbar current-attenuation curve. The
+ * ladder-inductance circuit simulation provides the "measured" points;
+ * the power-law fit I1(Cs) = A * Cs^-B is Eq. 2.
+ */
+
+#include <cstdio>
+
+#include "aqfp/attenuation.h"
+#include "bench_util.h"
+
+using namespace superbnn::aqfp;
+
+int
+main()
+{
+    bench_util::header(
+        "Figure 5: output current vs crossbar size (ladder sim + fit)");
+    const LadderAttenuationSimulator sim;
+    const std::vector<std::size_t> sizes =
+        {4, 8, 16, 18, 24, 36, 48, 72, 96, 144};
+    const auto points = sim.measure(sizes, 0.03);
+    const PowerLawFit fit = fitPowerLaw(points);
+
+    std::printf("%8s %16s %16s\n", "Cs", "measured I1 (uA)",
+                "fit A*Cs^-B (uA)");
+    for (const auto &p : points) {
+        std::printf("%8zu %16.3f %16.3f\n", p.crossbarSize,
+                    p.outputCurrentUa,
+                    fit.evaluate(static_cast<double>(p.crossbarSize)));
+    }
+    std::printf("\nfit: I1(Cs) = %.2f * Cs^-%.3f  (rms log error %.4f)\n",
+                fit.a, fit.b, fit.rmsLogError);
+
+    bench_util::header("Value-domain gray zone deltaVin(Cs) (Eq. 4)");
+    const AttenuationModel model(fit);
+    std::printf("%8s %14s %18s\n", "Cs", "I1 (uA)",
+                "deltaVin @2.4uA");
+    for (std::size_t cs : {4u, 8u, 16u, 18u, 36u, 72u, 144u}) {
+        std::printf("%8u %14.3f %18.4f\n", cs,
+                    model.currentForValueOne(cs),
+                    model.valueGrayZone(cs, 2.4));
+    }
+    std::printf("\nlarger crossbars -> wider value-domain gray zone -> "
+                "stronger randomized behaviour (Challenge #1/#2)\n");
+    return 0;
+}

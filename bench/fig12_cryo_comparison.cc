@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 12: energy efficiency versus clock frequency for
+ * AQFP (ours, 4 K, with and without cryocooling) against room-temperature
+ * CMOS and 77 K Cryo-CMOS variants of CMOS-BNN, HERMES and CryoBNN.
+ */
+
+#include <cstdio>
+
+#include "aqfp/energy.h"
+#include "baselines/cryo.h"
+#include "bench_util.h"
+
+using namespace superbnn;
+using namespace superbnn::aqfp;
+using namespace superbnn::baselines;
+
+int
+main()
+{
+    // Our 5 GHz operating point from the energy model on VGG-Small.
+    const EnergyModel model;
+    const auto rep =
+        model.evaluate(workloads::vggSmall(), {16, 32, 5.0, 2.4});
+    const double ours_at_5ghz = rep.topsPerWatt;
+
+    bench_util::header("Figure 12: TOPS/W vs frequency");
+    const std::vector<double> freqs = {0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+                                       10.0};
+    const auto curves = fig12Series(freqs, ours_at_5ghz);
+    std::printf("%-44s", "series \\ f(GHz)");
+    for (double f : freqs)
+        std::printf(" %9.1f", f);
+    std::printf("\n");
+    for (const auto &c : curves) {
+        std::printf("%-44s", c.name.c_str());
+        for (double v : c.topsPerWatt)
+            std::printf(" %9s", bench_util::sci(v).c_str());
+        std::printf("\n");
+    }
+
+    bench_util::header("Paper-shape checks");
+    double best_cryo_dev = 0.0, best_cryo_cooled = 0.0;
+    double ours_dev = 0.0, ours_cooled = 0.0;
+    for (const auto &c : curves) {
+        const double at1 = c.topsPerWatt[3]; // f = 1 GHz
+        if (c.name.find("w/o cooling") != std::string::npos
+            && c.name.rfind("Cryo", 0) == 0)
+            best_cryo_dev = std::max(best_cryo_dev, at1);
+        if (c.name.find("w/ cooling") != std::string::npos
+            && c.name.rfind("Cryo", 0) == 0)
+            best_cryo_cooled = std::max(best_cryo_cooled, at1);
+        if (c.name == "Ours (4K, w/o cooling)")
+            ours_dev = at1;
+        if (c.name == "Ours (4K, w/ cooling)")
+            ours_cooled = at1;
+    }
+    std::printf("device-only advantage over best Cryo-CMOS @1GHz: %.1e x"
+                " (paper: ~4 orders of magnitude)\n",
+                ours_dev / best_cryo_dev);
+    std::printf("cooled advantage over best cooled Cryo-CMOS @1GHz: "
+                "%.1e x (paper: 2-3 orders of magnitude)\n",
+                ours_cooled / best_cryo_cooled);
+    std::printf("ours declines with frequency (adiabatic E/op ~ f): "
+                "%s TOPS/W @0.1GHz -> %s @10GHz\n",
+                bench_util::sci(
+                    aqfpEfficiencyAt(ours_at_5ghz, 0.1, false))
+                    .c_str(),
+                bench_util::sci(
+                    aqfpEfficiencyAt(ours_at_5ghz, 10.0, false))
+                    .c_str());
+    return 0;
+}

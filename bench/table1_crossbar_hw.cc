@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table 1: circuit latency, JJ count and per-cycle energy of
+ * one crossbar synapse array, for the seven published sizes. Our model's
+ * closed forms match the paper exactly (see tests/test_aqfp_hw.cc).
+ */
+
+#include <cstdio>
+
+#include "aqfp/crossbar_hw.h"
+#include "bench_util.h"
+
+using namespace superbnn::aqfp;
+
+namespace {
+
+struct PaperRow
+{
+    std::size_t size;
+    double latency;
+    std::size_t jj;
+    double energy;
+};
+
+const PaperRow kPaper[] = {
+    {4, 60, 384, 1.92},       {8, 120, 1152, 5.76},
+    {16, 240, 3840, 19.20},   {18, 270, 4752, 23.76},
+    {36, 540, 17280, 86.4},   {72, 1080, 65664, 328.32},
+    {144, 2160, 255744, 1278.72},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench_util::header("Table 1: crossbar hardware cost (ours vs paper)");
+    const CrossbarHardwareModel hw;
+    std::printf("%10s | %10s %10s | %10s %10s | %12s %12s\n",
+                "Crossbar", "lat (ps)", "paper", "#JJs", "paper",
+                "E/cycle (aJ)", "paper");
+    for (const auto &p : kPaper) {
+        const auto row = hw.row(p.size);
+        std::printf("%5zux%-4zu | %10.0f %10.0f | %10zu %10zu |"
+                    " %12.2f %12.2f\n",
+                    p.size, p.size, row.latencyPs, p.latency,
+                    row.jjCount, p.jj, row.energyAj, p.energy);
+    }
+    std::printf("\nclosed forms: JJ = 12*Cs^2 + 48*Cs, latency = 15ps*Cs,"
+                " E = JJ * 5 zJ per cycle @5 GHz\n");
+
+    bench_util::header("Frequency scaling of per-cycle energy (adiabatic)");
+    std::printf("%10s %16s\n", "f (GHz)", "8x8 E/cycle (aJ)");
+    for (double f : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+        std::printf("%10.1f %16.3f\n", f, hw.energyPerCycleAj(8, f));
+    return 0;
+}

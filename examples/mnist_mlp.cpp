@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Table-3 scenario end to end: train the randomized MLP, deploy on
+ * the crossbar simulator, and compare energy efficiency against the
+ * CMOS / RSFQ / ERSFQ / SC-AQFP baselines, sweeping the SC window.
+ */
+
+#include <cstdio>
+
+#include "aqfp/energy.h"
+#include "baselines/baseline_specs.h"
+#include "core/hardware_eval.h"
+#include "core/trainer.h"
+#include "data/synthetic_mnist.h"
+
+using namespace superbnn;
+using namespace superbnn::core;
+
+int
+main()
+{
+    data::SyntheticMnistOptions dopts;
+    dopts.trainSize = 800;
+    dopts.testSize = 200;
+    const auto ds = data::makeSyntheticMnist(dopts);
+
+    Rng rng(21);
+    const aqfp::AttenuationModel atten;
+    RandomizedMlp model(784, {64, 32}, 10, AqfpBehavior{16, 2.4, 0.0},
+                        atten, rng);
+    TrainConfig tcfg;
+    tcfg.epochs = 30;
+    tcfg.warmupEpochs = 3;
+    tcfg.verbose = true;
+    const Trainer trainer(tcfg);
+    const auto result = trainer.train(model, ds.train, ds.test, rng);
+    std::printf("\nsoftware accuracy: %.1f%%\n",
+                100.0 * result.finalTestAccuracy);
+
+    std::printf("\n%8s %16s\n", "L", "hardware acc");
+    for (std::size_t window : {1u, 4u, 16u, 32u}) {
+        HardwareEvaluator hw(atten, {16, window, 2.4});
+        hw.mapMlp(model);
+        Rng eval_rng(3);
+        std::printf("%8zu %15.1f%%\n", window,
+                    100.0 * hw.evaluate(ds.test, 150, eval_rng));
+    }
+
+    const aqfp::EnergyModel energy;
+    const auto rep = energy.evaluate(aqfp::workloads::mnistMlp(),
+                                     {16, 16, 5.0, 2.4});
+    std::printf("\nefficiency on the paper MLP workload: %.2e TOPS/W "
+                "(%.2e with cooling)\n",
+                rep.topsPerWatt, rep.topsPerWattCooled);
+    std::printf("baselines (Table 3):\n");
+    for (const auto &b : superbnn::baselines::mnistBaselines())
+        std::printf("  %-10s %6.1f%%  %10.3g TOPS/W\n", b.name.c_str(),
+                    b.accuracyPercent, b.topsPerWatt);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: the whole SupeRBNN flow in one page.
+ *
+ *  1. Generate a synthetic dataset.
+ *  2. Build an AQFP-aware randomized BNN (tile-aware stochastic
+ *     binarization baked into training).
+ *  3. Train it with the paper's recipe (SGD + warmup + cosine + ReCU).
+ *  4. Map the trained weights onto simulated AQFP crossbars; batch-norm
+ *     folds into the neuron thresholds (Eq. 16).
+ *  5. Evaluate on the hardware simulator and print an energy report.
+ */
+
+#include <cstdio>
+
+#include "aqfp/energy.h"
+#include "core/hardware_eval.h"
+#include "core/trainer.h"
+#include "data/synthetic_mnist.h"
+
+using namespace superbnn;
+using namespace superbnn::core;
+
+int
+main()
+{
+    // 1. Data: a small synthetic MNIST-like set (deterministic).
+    data::SyntheticMnistOptions dopts;
+    dopts.trainSize = 600;
+    dopts.testSize = 150;
+    const auto ds = data::makeSyntheticMnist(dopts);
+
+    // 2. Model: hardware behaviour (crossbar size, gray zone) is part
+    //    of the model definition — that is the co-design.
+    Rng rng(7);
+    const aqfp::AttenuationModel atten;       // I1(Cs) = A * Cs^-B
+    const AqfpBehavior behavior{16, 2.4, 0.0}; // Cs=16, deltaIin=2.4 uA
+    RandomizedMlp model(784, {64}, 10, behavior, atten, rng);
+
+    // 3. Train.
+    TrainConfig tcfg;
+    tcfg.epochs = 20;
+    tcfg.warmupEpochs = 2;
+    tcfg.verbose = true;
+    const Trainer trainer(tcfg);
+    const auto result = trainer.train(model, ds.train, ds.test, rng);
+    std::printf("\nsoftware test accuracy: %.1f%%\n",
+                100.0 * result.finalTestAccuracy);
+
+    // 4-5. Deploy on the simulated AQFP hardware and evaluate.
+    HardwareEvaluator hw(atten, {16, /*window=*/16, 2.4});
+    hw.mapMlp(model);
+    Rng eval_rng(11);
+    const double hw_acc = hw.evaluate(ds.test, 150, eval_rng);
+    std::printf("hardware (crossbar + SC sim) accuracy: %.1f%%  on %zu "
+                "crossbar tiles\n",
+                100.0 * hw_acc, hw.totalCrossbars());
+
+    // Energy report for the paper's full-size MLP workload.
+    const aqfp::EnergyModel energy;
+    const auto rep = energy.evaluate(aqfp::workloads::mnistMlp(),
+                                     {16, 16, 5.0, 2.4});
+    std::printf("energy model (784-256-256-10 MLP @5 GHz): "
+                "%.2e TOPS/W device, %.2e TOPS/W with 400x cooling\n",
+                rep.topsPerWatt, rep.topsPerWattCooled);
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "aqfp/cell_library.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace superbnn::aqfp {
+
+CellLibrary::CellLibrary()
+{
+    cells_ = {
+        {CellType::Buffer,   "BUF",  2, 1},
+        {CellType::Inverter, "INV",  2, 1},
+        {CellType::Splitter, "SPL",  4, 1},
+        {CellType::And,      "AND",  8, 1},
+        {CellType::Or,       "OR",   8, 1},
+        {CellType::Majority, "MAJ",  8, 1},
+        {CellType::LimCell,  "LIM", 12, 1},
+        {CellType::ReadOut,  "RO",   4, 1},
+    };
+}
+
+const CellInfo &
+CellLibrary::info(CellType type) const
+{
+    const auto idx = static_cast<std::size_t>(type);
+    assert(idx < cells_.size());
+    return cells_[idx];
+}
+
+std::size_t
+CellLibrary::jjCount(CellType type) const
+{
+    return info(type).jjCount;
+}
+
+double
+CellLibrary::energyPerJjAj(double frequency_ghz)
+{
+    assert(frequency_ghz > 0.0);
+    return kEnergyPerJjAjAtDesign * (frequency_ghz / kDesignFrequencyGhz);
+}
+
+double
+CellLibrary::energyPerCycleAj(CellType type, double frequency_ghz) const
+{
+    return static_cast<double>(jjCount(type)) * energyPerJjAj(frequency_ghz);
+}
+
+void
+NetlistSummary::add(CellType type, std::size_t count)
+{
+    counts_[static_cast<std::size_t>(type)] += count;
+}
+
+std::size_t
+NetlistSummary::count(CellType type) const
+{
+    return counts_[static_cast<std::size_t>(type)];
+}
+
+std::size_t
+NetlistSummary::totalJj(const CellLibrary &lib) const
+{
+    std::size_t total = 0;
+    for (const auto &cell : lib.cells())
+        total += counts_[static_cast<std::size_t>(cell.type)] * cell.jjCount;
+    return total;
+}
+
+double
+NetlistSummary::totalEnergyAj(const CellLibrary &lib,
+                              double frequency_ghz) const
+{
+    return static_cast<double>(totalJj(lib))
+        * CellLibrary::energyPerJjAj(frequency_ghz);
+}
+
+std::string
+NetlistSummary::describe(const CellLibrary &lib) const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &cell : lib.cells()) {
+        const std::size_t c = counts_[static_cast<std::size_t>(cell.type)];
+        if (c == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        os << c << "x" << cell.name;
+        first = false;
+    }
+    os << " (" << totalJj(lib) << " JJs)";
+    return os.str();
+}
+
+} // namespace superbnn::aqfp

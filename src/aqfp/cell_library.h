@@ -1,0 +1,120 @@
+/**
+ * @file
+ * AQFP standard cell library model (paper Sections 2.2, 4.3, 6.1, 7).
+ *
+ * The paper's logic circuits (LiM cells, APCs, comparators) are built from
+ * an AQFP standard cell library containing AND, OR, buffer, inverter,
+ * majority, splitter and read-out interfaces. This module models each cell
+ * type's Josephson-junction (JJ) count and per-cycle switching energy so
+ * higher-level components can do JJ/energy accounting.
+ *
+ * Calibration: Table 1 of the paper implies 5 zJ (0.005 aJ) of dissipation
+ * per JJ per clock cycle at the 5 GHz design point (e.g. the 8x8 crossbar:
+ * 1152 JJs, 5.76 aJ per cycle). Adiabatic dissipation scales linearly with
+ * clock frequency, which the energy model uses for frequency sweeps.
+ */
+
+#ifndef SUPERBNN_AQFP_CELL_LIBRARY_H
+#define SUPERBNN_AQFP_CELL_LIBRARY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace superbnn::aqfp {
+
+/** Cell types available in the minimalist AQFP standard cell library. */
+enum class CellType
+{
+    Buffer,     ///< 2-JJ buffer, the basic AQFP element (also 1-bit memory)
+    Inverter,   ///< buffer with negative coupling
+    Splitter,   ///< 1-to-2 fanout driver
+    And,        ///< majority gate with one input tied to logic 0
+    Or,         ///< majority gate with one input tied to logic 1
+    Majority,   ///< 3-input majority
+    LimCell,    ///< logic-in-memory cell: weight storage + XNOR macro
+    ReadOut,    ///< AQFP-to-voltage readout interface (DC-SQUID based)
+};
+
+/** Static properties of one cell type. */
+struct CellInfo
+{
+    CellType type;
+    const char *name;
+    std::size_t jjCount;    ///< Josephson junctions in the cell
+    std::size_t phases;     ///< pipeline stages the cell occupies
+};
+
+/**
+ * The cell library: JJ counts and energy accounting for AQFP cells.
+ *
+ * JJ counts follow the minimalist AQFP library: a buffer/inverter is a
+ * 2-JJ double-junction SQUID; a splitter adds a drive loop (4 JJs); the
+ * AND/OR/MAJORITY family is three input branches plus an output buffer
+ * (8 JJs); the LiM cell (storage buffer + XNOR macro + output coupling)
+ * is 12 JJs, consistent with the Table-1 closed form 12*Cs^2 + 48*Cs.
+ */
+class CellLibrary
+{
+  public:
+    CellLibrary();
+
+    /** Properties of a cell type. */
+    const CellInfo &info(CellType type) const;
+
+    /** JJ count of one instance of @p type. */
+    std::size_t jjCount(CellType type) const;
+
+    /**
+     * Energy dissipated by one instance over one clock cycle at clock
+     * frequency @p frequency_ghz, in attojoules. Adiabatic scaling:
+     * proportional to frequency, calibrated to 5 zJ/JJ at 5 GHz.
+     */
+    double energyPerCycleAj(CellType type, double frequency_ghz) const;
+
+    /** Energy per JJ per cycle (aJ) at the given clock frequency. */
+    static double energyPerJjAj(double frequency_ghz);
+
+    /** All cells in the library (for enumeration/printing). */
+    const std::vector<CellInfo> &cells() const { return cells_; }
+
+    /** Reference design frequency from the paper (GHz). */
+    static constexpr double kDesignFrequencyGhz = 5.0;
+
+    /** Per-JJ per-cycle energy at the design frequency (aJ). */
+    static constexpr double kEnergyPerJjAjAtDesign = 0.005;
+
+  private:
+    std::vector<CellInfo> cells_;
+};
+
+/**
+ * A gate-level netlist summary: instance counts per cell type, used by the
+ * clocking optimizer and the SC-module JJ estimator.
+ */
+class NetlistSummary
+{
+  public:
+    /** Add @p count instances of @p type. */
+    void add(CellType type, std::size_t count = 1);
+
+    /** Total JJ count given a library. */
+    std::size_t totalJj(const CellLibrary &lib) const;
+
+    /** Total per-cycle energy (aJ) at a clock frequency. */
+    double totalEnergyAj(const CellLibrary &lib, double frequency_ghz) const;
+
+    /** Instance count of one type. */
+    std::size_t count(CellType type) const;
+
+    /** Pretty one-line summary for reports. */
+    std::string describe(const CellLibrary &lib) const;
+
+  private:
+    // Indexed by static_cast<size_t>(CellType).
+    std::vector<std::size_t> counts_ = std::vector<std::size_t>(8, 0);
+};
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_CELL_LIBRARY_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Clocking-scheme adjustment-based circuit optimization (paper Sec. 4.4).
+ *
+ * AQFP gates are synchronized by a multi-phase clock; data moves between
+ * adjacent logic stages inside the overlap window of their clock phases.
+ * With a 4-phase clock every logic level must be occupied, so an edge that
+ * skips d levels needs d-1 path-balancing buffers. Raising the phase count
+ * widens the overlap to non-adjacent stages, letting one hop cover several
+ * levels and removing buffers. The paper reports >= 20.8% / 27.3% total-JJ
+ * reduction for 8-/16-phase compute clocking, and a 20% JJ reduction for
+ * the buffer-chain memory (BCM) when dropping its independent clock from 4
+ * to 3 phases.
+ */
+
+#ifndef SUPERBNN_AQFP_CLOCKING_H
+#define SUPERBNN_AQFP_CLOCKING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "aqfp/cell_library.h"
+#include "tensor/random.h"
+
+namespace superbnn::aqfp {
+
+/** One gate instance in a leveled logic netlist. */
+struct NetlistGate
+{
+    CellType type;                   ///< gate kind (JJ accounting)
+    std::size_t level;               ///< logic depth (0 = primary inputs)
+    std::vector<std::size_t> fanin;  ///< indices of driving gates
+};
+
+/**
+ * A leveled combinational netlist: gates with levels and fanin edges.
+ * Used as the workload for path-balancing buffer estimation.
+ */
+class LogicNetlist
+{
+  public:
+    /** Append a gate; returns its index. */
+    std::size_t addGate(CellType type, std::size_t level,
+                        std::vector<std::size_t> fanin = {});
+
+    const std::vector<NetlistGate> &gates() const { return gates_; }
+    std::size_t depth() const { return depth_; }
+
+    /** JJs of the logic gates alone (no balancing buffers). */
+    std::size_t logicJj(const CellLibrary &lib) const;
+
+    /**
+     * Generate a pseudo-random leveled DAG resembling BNN peripheral
+     * datapaths (adder trees with forwarded carries and bypass paths).
+     *
+     * @param gate_count  number of logic gates
+     * @param depth       number of logic levels
+     * @param skip_bias   in [0,1); larger values create more long edges
+     *                    (level skips), which is what buffers balance
+     */
+    static LogicNetlist random(std::size_t gate_count, std::size_t depth,
+                               double skip_bias, Rng &rng);
+
+  private:
+    std::vector<NetlistGate> gates_;
+    std::size_t depth_ = 0;
+};
+
+/** Buffer/JJ accounting for one clocking configuration. */
+struct ClockingReport
+{
+    std::size_t phases;          ///< clock phases used for compute logic
+    std::size_t logicJj;         ///< JJs in functional gates
+    std::size_t bufferCount;     ///< inserted path-balancing buffers
+    std::size_t bufferJj;        ///< JJs in those buffers
+    std::size_t totalJj;         ///< logicJj + bufferJj
+    double reductionVs4Phase;    ///< fractional total-JJ reduction vs 4-phase
+};
+
+/**
+ * Path-balancing analyzer: computes the buffers needed under k-phase
+ * clocking and the resulting JJ totals.
+ *
+ * Model: with k phases the clock overlap spans floor(k/4) logic levels, so
+ * an edge that skips d levels needs ceil(d / span) - 1 buffers (d-1 for
+ * the baseline 4-phase scheme).
+ */
+class ClockingOptimizer
+{
+  public:
+    explicit ClockingOptimizer(CellLibrary library = CellLibrary());
+
+    /** Buffers required on a single edge of level gap @p gap. */
+    static std::size_t buffersForEdge(std::size_t gap, std::size_t phases);
+
+    /** Analyze @p netlist under @p phases-phase clocking. */
+    ClockingReport analyze(const LogicNetlist &netlist,
+                           std::size_t phases) const;
+
+    /**
+     * Run the paper's comparison: 4-, 8- and 16-phase clocking on the same
+     * netlist; reductions are measured against the 4-phase baseline.
+     */
+    std::vector<ClockingReport> compare(const LogicNetlist &netlist) const;
+
+  private:
+    CellLibrary lib;
+};
+
+/**
+ * Buffer-chain memory (BCM) model. The BCM stores bits in chains of AQFP
+ * buffers clocked independently from the compute logic; it is fully
+ * balanced by construction so its JJ count is (chain length per phase
+ * cycle) * bits plus fixed read-out/driver circuitry. Dropping the memory
+ * clock from 4 to 3 phases shortens every chain by one buffer per cycle,
+ * the paper's 20% total-JJ reduction.
+ */
+class BufferChainMemory
+{
+  public:
+    /**
+     * @param words     number of stored words
+     * @param bits      bits per word
+     * @param phases    memory clock phases (3 or 4 in the paper)
+     */
+    BufferChainMemory(std::size_t words, std::size_t bits,
+                      std::size_t phases,
+                      CellLibrary library = CellLibrary());
+
+    /** Total JJ count of the memory macro. */
+    std::size_t totalJj() const;
+
+    /** JJs in the storage buffer chains only. */
+    std::size_t chainJj() const;
+
+    /** JJs in read-out interfaces and drivers (phase independent). */
+    std::size_t fixedJj() const;
+
+    std::size_t phases() const { return phases_; }
+
+  private:
+    std::size_t words_;
+    std::size_t bits_;
+    std::size_t phases_;
+    CellLibrary lib;
+};
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_CLOCKING_H

@@ -1,0 +1,58 @@
+#include "aqfp/crossbar_hw.h"
+
+#include <cassert>
+
+namespace superbnn::aqfp {
+
+CrossbarHardwareModel::CrossbarHardwareModel(CellLibrary library)
+    : lib(std::move(library))
+{
+}
+
+std::size_t
+CrossbarHardwareModel::jjCount(std::size_t cs) const
+{
+    assert(cs >= 1);
+    return kJjPerCell * cs * cs + kJjPerEdgeUnit * cs;
+}
+
+double
+CrossbarHardwareModel::latencyPs(std::size_t cs) const
+{
+    assert(cs >= 1);
+    return kLatencyPsPerUnit * static_cast<double>(cs);
+}
+
+double
+CrossbarHardwareModel::energyPerCycleAj(std::size_t cs,
+                                        double frequency_ghz) const
+{
+    return static_cast<double>(jjCount(cs))
+        * CellLibrary::energyPerJjAj(frequency_ghz);
+}
+
+CrossbarHardwareRow
+CrossbarHardwareModel::row(std::size_t cs) const
+{
+    return {cs, latencyPs(cs), jjCount(cs), energyPerCycleAj(cs)};
+}
+
+const std::vector<std::size_t> &
+CrossbarHardwareModel::table1Sizes()
+{
+    static const std::vector<std::size_t> sizes =
+        {4, 8, 16, 18, 36, 72, 144};
+    return sizes;
+}
+
+std::vector<CrossbarHardwareRow>
+CrossbarHardwareModel::table1() const
+{
+    std::vector<CrossbarHardwareRow> rows;
+    rows.reserve(table1Sizes().size());
+    for (std::size_t cs : table1Sizes())
+        rows.push_back(row(cs));
+    return rows;
+}
+
+} // namespace superbnn::aqfp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware cost model of one AQFP crossbar synapse array (paper Table 1).
+ *
+ * The paper reports circuit latency, JJ count and per-cycle energy for
+ * crossbar sizes from 4x4 to 144x144. All seven published rows are
+ * reproduced exactly by the closed forms
+ *
+ *   JJs(Cs)      = 12 * Cs^2 + 48 * Cs      (12-JJ LiM cell per synapse
+ *                                            plus 48 JJs of row/column
+ *                                            drivers and neuron circuitry
+ *                                            per edge unit)
+ *   latency(Cs)  = 15 ps * Cs               (propagation through the merge
+ *                                            ladder and neuron stages)
+ *   energy(Cs)   = JJs(Cs) * 5 zJ           (per clock cycle at 5 GHz)
+ */
+
+#ifndef SUPERBNN_AQFP_CROSSBAR_HW_H
+#define SUPERBNN_AQFP_CROSSBAR_HW_H
+
+#include <cstddef>
+#include <vector>
+
+#include "aqfp/cell_library.h"
+
+namespace superbnn::aqfp {
+
+/** One row of the Table-1 style report. */
+struct CrossbarHardwareRow
+{
+    std::size_t size;          ///< Cs (the crossbar is Cs x Cs)
+    double latencyPs;          ///< circuit latency in picoseconds
+    std::size_t jjCount;       ///< total Josephson junctions
+    double energyAj;           ///< energy dissipation per clock cycle (aJ)
+};
+
+/** Analytical hardware model of a Cs x Cs AQFP crossbar synapse array. */
+class CrossbarHardwareModel
+{
+  public:
+    explicit CrossbarHardwareModel(CellLibrary library = CellLibrary());
+
+    /** Total JJ count of a Cs x Cs crossbar. */
+    std::size_t jjCount(std::size_t cs) const;
+
+    /** Circuit latency (ps) of a Cs x Cs crossbar. */
+    double latencyPs(std::size_t cs) const;
+
+    /**
+     * Energy dissipation per clock cycle (aJ) at @p frequency_ghz
+     * (defaults to the 5 GHz design point used in Table 1).
+     */
+    double energyPerCycleAj(std::size_t cs,
+                            double frequency_ghz =
+                                CellLibrary::kDesignFrequencyGhz) const;
+
+    /** Full Table-1 style row for one size. */
+    CrossbarHardwareRow row(std::size_t cs) const;
+
+    /** The seven crossbar sizes published in Table 1. */
+    static const std::vector<std::size_t> &table1Sizes();
+
+    /** Table 1 reproduced for the published sizes. */
+    std::vector<CrossbarHardwareRow> table1() const;
+
+    const CellLibrary &library() const { return lib; }
+
+    /// JJs per LiM cell (synapse), from the Table-1 closed form.
+    static constexpr std::size_t kJjPerCell = 12;
+    /// JJs of peripheral circuitry per row+column unit.
+    static constexpr std::size_t kJjPerEdgeUnit = 48;
+    /// Latency per crossbar-size unit (merge ladder + neuron stages).
+    static constexpr double kLatencyPsPerUnit = 15.0;
+
+  private:
+    CellLibrary lib;
+};
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_CROSSBAR_HW_H

@@ -1,0 +1,216 @@
+#include "aqfp/energy.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "aqfp/clocking.h"
+
+namespace superbnn::aqfp {
+
+LayerSpec
+LayerSpec::conv(std::string name, std::size_t in_ch, std::size_t out_ch,
+                std::size_t kernel, std::size_t out_h, std::size_t out_w)
+{
+    return {std::move(name), in_ch * kernel * kernel, out_ch, out_h * out_w};
+}
+
+LayerSpec
+LayerSpec::fc(std::string name, std::size_t in_features,
+              std::size_t out_features)
+{
+    return {std::move(name), in_features, out_features, 1};
+}
+
+std::size_t
+WorkloadSpec::totalMacs() const
+{
+    std::size_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+std::size_t
+WorkloadSpec::totalWeightBits() const
+{
+    std::size_t total = 0;
+    for (const auto &l : layers)
+        total += l.fanIn * l.fanOut;
+    return total;
+}
+
+EnergyModel::EnergyModel(CrossbarHardwareModel hardware)
+    : hw(std::move(hardware))
+{
+}
+
+std::size_t
+EnergyModel::scModuleJj(std::size_t row_tiles,
+                        std::size_t bitstream_len) const
+{
+    const CellLibrary &lib = hw.library();
+    // Approximate parallel counter: a tree of majority-based full adders.
+    // An exact parallel counter over T inputs needs about T-1 full adders;
+    // the approximate design (Kim et al.) replaces the bottom layer with
+    // OR-based approximation units, saving roughly a quarter of the gates.
+    const std::size_t t = std::max<std::size_t>(row_tiles, 1);
+    const std::size_t full_adders = (t > 1) ? (3 * (t - 1)) / 4 : 0;
+    const std::size_t fa_jj = 2 * lib.jjCount(CellType::Majority)
+        + 2 * lib.jjCount(CellType::Inverter); // MAJ-based carry/sum pair
+    // Accumulator register sized to count up to T * L.
+    const std::size_t count_bits = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(t * bitstream_len) + 1.0)));
+    const std::size_t accumulator_jj =
+        count_bits * (lib.jjCount(CellType::Buffer)
+                      + lib.jjCount(CellType::Majority));
+    // Comparator against the reference Ref (Fig. 6b): one majority stage
+    // per count bit plus a readout.
+    const std::size_t comparator_jj =
+        count_bits * lib.jjCount(CellType::Majority)
+        + lib.jjCount(CellType::ReadOut);
+    return full_adders * fa_jj + accumulator_jj + comparator_jj;
+}
+
+EnergyReport
+EnergyModel::evaluate(const WorkloadSpec &workload,
+                      const AcceleratorConfig &config) const
+{
+    assert(config.crossbarSize >= 1 && config.bitstreamLength >= 1);
+    assert(config.frequencyGhz > 0.0);
+
+    const std::size_t cs = config.crossbarSize;
+    const std::size_t len = config.bitstreamLength;
+    const double e_jj = CellLibrary::energyPerJjAj(config.frequencyGhz);
+    const double e_xbar_cycle =
+        hw.energyPerCycleAj(cs, config.frequencyGhz);
+
+    EnergyReport rep;
+    rep.opsPerImage = workload.totalOps();
+
+    double xbar_cycles_energy = 0.0;  // crossbar-cycles weighted count
+    double sc_energy = 0.0;
+    double serial_cycles = 0.0;
+    std::size_t crossbars = 0;
+    std::size_t sc_jj_total = 0;
+
+    for (const auto &layer : workload.layers) {
+        const std::size_t row_tiles = (layer.fanIn + cs - 1) / cs;
+        const std::size_t col_tiles = (layer.fanOut + cs - 1) / cs;
+        crossbars += row_tiles * col_tiles;
+
+        // Each output position evaluates all row tiles of one column
+        // group in parallel for L cycles; column groups serialize.
+        const double evals = static_cast<double>(layer.positions)
+            * static_cast<double>(col_tiles) * static_cast<double>(len);
+        serial_cycles += evals;
+        xbar_cycles_energy += evals * static_cast<double>(row_tiles);
+
+        // One SC accumulation module per crossbar column, Cs columns per
+        // column group, active for every evaluation cycle.
+        const std::size_t sc_jj = scModuleJj(row_tiles, len);
+        sc_jj_total += sc_jj * cs * col_tiles;
+        sc_energy += evals * static_cast<double>(sc_jj)
+            * static_cast<double>(cs) * e_jj;
+    }
+
+    rep.crossbarEnergyAj = xbar_cycles_energy * e_xbar_cycle;
+    rep.scModuleEnergyAj = sc_energy;
+
+    // Activation memory: buffer-chain memory holding the widest
+    // intermediate feature map, refreshed every compute cycle. 3-phase
+    // memory clocking per Section 4.4.
+    std::size_t max_act_bits = 0;
+    for (const auto &layer : workload.layers)
+        max_act_bits = std::max(max_act_bits, layer.fanOut * layer.positions);
+    const BufferChainMemory act_mem(1, std::max<std::size_t>(max_act_bits, 1),
+                                    3, hw.library());
+    // Only the accessed slice (one column group worth per cycle) switches.
+    const double mem_active_fraction = 0.02;
+    rep.memoryEnergyAj = serial_cycles
+        * static_cast<double>(act_mem.totalJj()) * mem_active_fraction * e_jj;
+
+    rep.totalEnergyAj = rep.crossbarEnergyAj + rep.scModuleEnergyAj
+        + rep.memoryEnergyAj;
+    rep.cyclesPerImage = serial_cycles;
+    rep.latencyUs = serial_cycles / (config.frequencyGhz * 1e3); // ns->us
+    rep.throughputImagesPerMs =
+        (rep.latencyUs > 0.0) ? 1e3 / rep.latencyUs : 0.0;
+
+    const double joules = rep.totalEnergyAj * 1e-18;
+    rep.powerW = joules * rep.throughputImagesPerMs * 1e3;
+    rep.topsPerWatt = (joules > 0.0)
+        ? static_cast<double>(rep.opsPerImage) / joules / 1e12
+        : 0.0;
+    rep.topsPerWattCooled = rep.topsPerWatt / kCoolingFactor;
+
+    rep.crossbarCount = crossbars;
+    rep.totalJj = crossbars * hw.jjCount(cs) + sc_jj_total
+        + act_mem.totalJj();
+    return rep;
+}
+
+namespace workloads {
+
+WorkloadSpec
+vggSmall()
+{
+    WorkloadSpec w;
+    w.name = "VGG-Small";
+    w.layers = {
+        LayerSpec::conv("conv1", 3, 128, 3, 32, 32),
+        LayerSpec::conv("conv2", 128, 128, 3, 32, 32),
+        LayerSpec::conv("conv3", 128, 256, 3, 16, 16),
+        LayerSpec::conv("conv4", 256, 256, 3, 16, 16),
+        LayerSpec::conv("conv5", 256, 512, 3, 8, 8),
+        LayerSpec::conv("conv6", 512, 512, 3, 8, 8),
+        LayerSpec::fc("fc1", 512 * 4 * 4, 1024),
+        LayerSpec::fc("fc2", 1024, 10),
+    };
+    return w;
+}
+
+WorkloadSpec
+resnet18()
+{
+    WorkloadSpec w;
+    w.name = "ResNet-18";
+    w.layers = {
+        LayerSpec::conv("conv1", 3, 64, 3, 32, 32),
+    };
+    // Four stages of two basic blocks each (CIFAR-style ResNet-18).
+    const std::size_t chans[4] = {64, 128, 256, 512};
+    const std::size_t sides[4] = {32, 16, 8, 4};
+    std::size_t in_ch = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < 2; ++b) {
+            w.layers.push_back(LayerSpec::conv(
+                "stage" + std::to_string(s) + "_block" + std::to_string(b)
+                    + "_a",
+                in_ch, chans[s], 3, sides[s], sides[s]));
+            w.layers.push_back(LayerSpec::conv(
+                "stage" + std::to_string(s) + "_block" + std::to_string(b)
+                    + "_b",
+                chans[s], chans[s], 3, sides[s], sides[s]));
+            in_ch = chans[s];
+        }
+    }
+    w.layers.push_back(LayerSpec::fc("fc", 512, 10));
+    return w;
+}
+
+WorkloadSpec
+mnistMlp()
+{
+    WorkloadSpec w;
+    w.name = "MLP";
+    w.layers = {
+        LayerSpec::fc("fc1", 784, 256),
+        LayerSpec::fc("fc2", 256, 256),
+        LayerSpec::fc("fc3", 256, 10),
+    };
+    return w;
+}
+
+} // namespace workloads
+
+} // namespace superbnn::aqfp

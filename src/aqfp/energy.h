@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Accelerator-level energy / performance model for the AQFP randomized BNN
+ * accelerator (paper Sections 5.4, 6.2, 6.6; Tables 2 and 3; Fig. 12).
+ *
+ * The model composes:
+ *  - the per-crossbar Table-1 cost model (JJ count, per-cycle energy),
+ *  - the crossbar tiling of each BNN layer (fan-in rows x fan-out columns
+ *    split into Cs x Cs tiles),
+ *  - the SC accumulation module (APCs + accumulator + comparator) that
+ *    merges row tiles,
+ *  - buffer-chain memory for activations,
+ *  - the L-cycle observation window of the stochastic-number conversion,
+ *  - adiabatic frequency scaling (energy/JJ/cycle proportional to f), and
+ *  - the 400x cryocooler overhead for 4.2 K operation.
+ *
+ * Dataflow assumption: row tiles of one column group evaluate in parallel
+ * (their outputs are SC-accumulated); column groups are serialized. This
+ * makes time/image = sum over layers of positions * colTiles * L cycles
+ * while energy counts every active crossbar-cycle.
+ */
+
+#ifndef SUPERBNN_AQFP_ENERGY_H
+#define SUPERBNN_AQFP_ENERGY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aqfp/cell_library.h"
+#include "aqfp/crossbar_hw.h"
+
+namespace superbnn::aqfp {
+
+/** One binary layer of a workload, reduced to its matmul geometry. */
+struct LayerSpec
+{
+    std::string name;
+    std::size_t fanIn = 0;      ///< rows of the weight matrix (C*k*k)
+    std::size_t fanOut = 0;     ///< columns (output channels / units)
+    std::size_t positions = 1;  ///< output spatial positions per image
+
+    /** Multiply-accumulates per image for this layer. */
+    std::size_t macs() const { return fanIn * fanOut * positions; }
+
+    /** Helper: convolution layer geometry. */
+    static LayerSpec conv(std::string name, std::size_t in_ch,
+                          std::size_t out_ch, std::size_t kernel,
+                          std::size_t out_h, std::size_t out_w);
+
+    /** Helper: fully connected layer geometry. */
+    static LayerSpec fc(std::string name, std::size_t in_features,
+                        std::size_t out_features);
+};
+
+/** A whole network as seen by the hardware model. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Total MACs per image. */
+    std::size_t totalMacs() const;
+    /** Total binary ops per image (2 ops per MAC, the paper's convention). */
+    std::size_t totalOps() const { return 2 * totalMacs(); }
+    /** Total weight bits (for memory sizing). */
+    std::size_t totalWeightBits() const;
+};
+
+/** Hardware configuration knobs co-optimized by the framework. */
+struct AcceleratorConfig
+{
+    std::size_t crossbarSize = 16;   ///< Cs
+    std::size_t bitstreamLength = 32;///< SC observation window L
+    double frequencyGhz = 5.0;       ///< AQFP clock rate
+    double deltaIinUa = 2.4;         ///< comparator gray-zone width
+};
+
+/** Energy/performance numbers for one (workload, config) pair. */
+struct EnergyReport
+{
+    std::size_t opsPerImage = 0;
+    double crossbarEnergyAj = 0.0;   ///< crossbar array energy per image
+    double scModuleEnergyAj = 0.0;   ///< SC accumulation module per image
+    double memoryEnergyAj = 0.0;     ///< activation/weight BCM per image
+    double totalEnergyAj = 0.0;      ///< total energy per image (aJ)
+    double cyclesPerImage = 0.0;     ///< serialized compute cycles
+    double latencyUs = 0.0;          ///< time per image (microseconds)
+    double throughputImagesPerMs = 0.0;
+    double powerW = 0.0;             ///< average device power (W)
+    double topsPerWatt = 0.0;        ///< energy efficiency w/o cooling
+    double topsPerWattCooled = 0.0;  ///< including cryocooler overhead
+    std::size_t totalJj = 0;         ///< JJ count of the full accelerator
+    std::size_t crossbarCount = 0;   ///< resident crossbar tiles
+};
+
+/**
+ * The accelerator energy/performance estimator.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(CrossbarHardwareModel hw = CrossbarHardwareModel());
+
+    /** Evaluate a workload under a hardware configuration. */
+    EnergyReport evaluate(const WorkloadSpec &workload,
+                          const AcceleratorConfig &config) const;
+
+    /**
+     * JJ count of the SC accumulation module for one column group:
+     * an approximate parallel counter over @p row_tiles inputs, an
+     * accumulator register sized for row_tiles * L counts, and the final
+     * comparator (Fig. 6b).
+     */
+    std::size_t scModuleJj(std::size_t row_tiles,
+                           std::size_t bitstream_len) const;
+
+    /**
+     * Cryocooler overhead for superconducting digital circuits at 4.2 K
+     * (paper Section 6.6, citing Holmes et al.): cooling power is about
+     * 400x the device dissipation.
+     */
+    static constexpr double kCoolingFactor = 400.0;
+
+    const CrossbarHardwareModel &hardware() const { return hw; }
+
+  private:
+    CrossbarHardwareModel hw;
+};
+
+/** Reference BNN workloads used in the paper's evaluation. */
+namespace workloads {
+
+/** VGG-small for 32x32 RGB inputs (CIFAR-10 scale), Table 2 rows. */
+WorkloadSpec vggSmall();
+
+/** ResNet-18-style workload for 32x32 inputs (Table 2 last row). */
+WorkloadSpec resnet18();
+
+/** The JBNN MLP used for the MNIST comparison (Table 3). */
+WorkloadSpec mnistMlp();
+
+} // namespace workloads
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_ENERGY_H

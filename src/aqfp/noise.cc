@@ -1,0 +1,30 @@
+#include "aqfp/noise.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::aqfp {
+
+ThermalNoiseModel::ThermalNoiseModel(double quantum_floor_ua,
+                                     double thermal_slope_ua_per_k)
+    : quantumFloor(quantum_floor_ua), thermalSlope(thermal_slope_ua_per_k)
+{
+    assert(quantum_floor_ua > 0.0 && thermal_slope_ua_per_k > 0.0);
+}
+
+double
+ThermalNoiseModel::grayZoneWidth(double kelvin) const
+{
+    assert(kelvin >= 0.0);
+    const double thermal = thermalSlope * kelvin;
+    return std::sqrt(quantumFloor * quantumFloor + thermal * thermal);
+}
+
+double
+ThermalNoiseModel::quantumCrossoverTemperature() const
+{
+    // Thermal term equals quantum floor.
+    return quantumFloor / thermalSlope;
+}
+
+} // namespace superbnn::aqfp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thermal/quantum fluctuation model for the AQFP comparator gray-zone
+ * width (paper Section 4.2, citing Walls et al., PRL 89, 217004).
+ *
+ * The gray-zone width grows with temperature in the thermal regime and
+ * saturates at a quantum floor as T -> 0:
+ *
+ *   deltaI(T) = sqrt( deltaIq^2 + (kT * T)^2 )
+ *
+ * The paper's research scope is 4.2 K where thermal fluctuations dominate;
+ * the model is calibrated so deltaI(4.2 K) = 2.4 uA (the paper's default).
+ */
+
+#ifndef SUPERBNN_AQFP_NOISE_H
+#define SUPERBNN_AQFP_NOISE_H
+
+namespace superbnn::aqfp {
+
+/** Temperature-dependent gray-zone width model. */
+class ThermalNoiseModel
+{
+  public:
+    /**
+     * @param quantum_floor_ua  gray-zone width at T = 0 (quantum
+     *                          fluctuation limit), in uA
+     * @param thermal_slope_ua_per_k  linear thermal growth coefficient
+     */
+    explicit ThermalNoiseModel(double quantum_floor_ua = 0.35,
+                               double thermal_slope_ua_per_k = 0.565);
+
+    /** Gray-zone width deltaIin (uA) at temperature @p kelvin. */
+    double grayZoneWidth(double kelvin) const;
+
+    /** Temperature below which the quantum floor dominates (> 50%). */
+    double quantumCrossoverTemperature() const;
+
+    /** The paper's operating point: liquid-helium temperature. */
+    static constexpr double kOperatingTemperature = 4.2;
+
+  private:
+    double quantumFloor;
+    double thermalSlope;
+};
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_NOISE_H

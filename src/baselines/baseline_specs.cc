@@ -1,0 +1,64 @@
+#include "baselines/baseline_specs.h"
+
+namespace superbnn::baselines {
+
+const std::vector<BaselineSpec> &
+cifar10Baselines()
+{
+    static const std::vector<BaselineSpec> specs = {
+        {"DDN (VGG-Small)", "CMOS digital", "Full-precision", 92.5, 0.28,
+         std::nullopt, std::nullopt, std::nullopt, "[16] DaDianNao"},
+        {"IMB", "ReRAM crossbar", "Binary", 87.7, 82.6, std::nullopt,
+         12.5, 1.3, "[40] Kim et al."},
+        {"STT-BNN", "STT-MRAM in-memory", "Binary", 80.1, 311.0,
+         std::nullopt, std::nullopt, std::nullopt, "[54] Pham et al."},
+        {"CMOS-BNN", "10nm FinFET (13 MHz)", "Binary", 92.0, 617.0,
+         std::nullopt, std::nullopt, std::nullopt, "[42] Knag et al."},
+    };
+    return specs;
+}
+
+const std::vector<BaselineSpec> &
+mnistBaselines()
+{
+    static const std::vector<BaselineSpec> specs = {
+        {"SyncBNN", "CMOS", "Binary", 98.4, 36.6, 36.6, std::nullopt,
+         std::nullopt, "[27] JBNN paper"},
+        {"RSFQ", "RSFQ superconducting", "Binary", 97.9, 2.4e3, 8.1,
+         std::nullopt, std::nullopt, "[27] JBNN paper"},
+        {"ERSFQ", "ERSFQ superconducting", "Binary", 97.9, 1.5e4, 50.0,
+         std::nullopt, std::nullopt, "[27] JBNN paper"},
+        {"SC-AQFP", "AQFP pure stochastic", "Binary", 96.9, 9.8e3, 24.5,
+         std::nullopt, std::nullopt, "[13] Cai et al."},
+    };
+    return specs;
+}
+
+const std::vector<BaselineSpec> &
+paperSuperbnnCifarRows()
+{
+    static const std::vector<BaselineSpec> specs = {
+        {"SupeRBNN (VGG-Small)", "AQFP", "Binary", 91.7, 1.9e5, 4.8e2,
+         6.2e-3, 2.0, "Table 2"},
+        {"SupeRBNN (VGG-Small)", "AQFP", "Binary", 90.6, 3.8e5, 9.5e2,
+         6.3e-3, 3.9, "Table 2"},
+        {"SupeRBNN (VGG-Small)", "AQFP", "Binary", 89.2, 1.5e6, 3.8e3,
+         6.4e-3, 15.2, "Table 2"},
+        {"SupeRBNN (VGG-Small)", "AQFP", "Binary", 87.4, 6.8e6, 1.7e4,
+         7.6e-3, 47.4, "Table 2"},
+        {"SupeRBNN (ResNet-18)", "AQFP", "Binary", 92.2, 1.9e5, 4.8e2,
+         6.2e-3, 2.2, "Table 2"},
+    };
+    return specs;
+}
+
+const BaselineSpec &
+paperSuperbnnMnistRow()
+{
+    static const BaselineSpec spec = {
+        "SupeRBNN (MLP)", "AQFP", "Binary", 98.1, 1.5e6, 3.8e3,
+        std::nullopt, std::nullopt, "Table 3"};
+    return spec;
+}
+
+} // namespace superbnn::baselines

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Published operating points of the accelerators the paper compares
+ * against (Tables 2 and 3, Fig. 12). The paper compares SupeRBNN against
+ * the numbers these works report; this module encodes them verbatim as a
+ * reference database with provenance, so the comparison benches can
+ * print the paper's tables next to our measured rows.
+ */
+
+#ifndef SUPERBNN_BASELINES_BASELINE_SPECS_H
+#define SUPERBNN_BASELINES_BASELINE_SPECS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace superbnn::baselines {
+
+/** One published accelerator operating point. */
+struct BaselineSpec
+{
+    std::string name;          ///< e.g. "IMB"
+    std::string technology;    ///< e.g. "ReRAM crossbar"
+    std::string scheme;        ///< "Binary" / "Full-precision"
+    double accuracyPercent;    ///< top-1 accuracy reported
+    double topsPerWatt;        ///< energy efficiency w/o cooling
+    std::optional<double> topsPerWattCooled; ///< w/ cooling if reported
+    std::optional<double> powerMw;           ///< reported power
+    std::optional<double> throughputImagesPerMs;
+    std::string provenance;    ///< citation key in the paper
+};
+
+/** Table 2 baselines: CIFAR-10. */
+const std::vector<BaselineSpec> &cifar10Baselines();
+
+/** Table 3 baselines: MNIST MLP. */
+const std::vector<BaselineSpec> &mnistBaselines();
+
+/**
+ * The paper's own reported SupeRBNN rows (for EXPERIMENTS.md style
+ * paper-vs-measured comparison in the benches).
+ */
+const std::vector<BaselineSpec> &paperSuperbnnCifarRows();
+const BaselineSpec &paperSuperbnnMnistRow();
+
+} // namespace superbnn::baselines
+
+#endif // SUPERBNN_BASELINES_BASELINE_SPECS_H

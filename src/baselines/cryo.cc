@@ -1,0 +1,90 @@
+#include "baselines/cryo.h"
+
+#include <cassert>
+
+namespace superbnn::baselines {
+
+namespace {
+/// Cryocooler overhead for 4.2 K superconducting circuits (Holmes et al.).
+constexpr double kAqfpCoolingFactor = 400.0;
+} // namespace
+
+double
+CryoCmos::deviceEfficiency(double room_tops_per_watt)
+{
+    return room_tops_per_watt * kEfficiencyGain;
+}
+
+double
+CryoCmos::cooledEfficiency(double room_tops_per_watt)
+{
+    return deviceEfficiency(room_tops_per_watt)
+        / (1.0 + kCoolingOverhead);
+}
+
+const std::vector<CmosAnchor> &
+fig12CmosAnchors()
+{
+    static const std::vector<CmosAnchor> anchors = {
+        // 10nm FinFET all-digital BNN accelerator at its high-speed point.
+        {"CMOS-BNN", 0.622, 617.0, "[42] Knag et al."},
+        // 14nm CMOS + PCM in-memory compute core.
+        {"HERMES", 1.0, 10.5, "[39] Khaddam-Aljameh et al."},
+        // SFQ-clocked cryogenic BNN reference from the JBNN paper.
+        {"CryoBNN", 2.24, 36.6, "[27] Fu et al."},
+    };
+    return anchors;
+}
+
+double
+aqfpEfficiencyAt(double tops_at_5ghz, double frequency_ghz,
+                 bool with_cooling)
+{
+    assert(frequency_ghz > 0.0);
+    const double device = tops_at_5ghz * 5.0 / frequency_ghz;
+    return with_cooling ? device / kAqfpCoolingFactor : device;
+}
+
+std::vector<EfficiencyCurve>
+fig12Series(const std::vector<double> &frequencies_ghz,
+            double aqfp_tops_at_5ghz)
+{
+    std::vector<EfficiencyCurve> curves;
+
+    for (const auto &anchor : fig12CmosAnchors()) {
+        EfficiencyCurve room{"CMOS (300K) " + anchor.name, {}, {}};
+        EfficiencyCurve cryo{"Cryo-CMOS (77K, w/o cooling) " + anchor.name,
+                             {}, {}};
+        EfficiencyCurve cooled{"Cryo-CMOS (77K, w/ cooling) " + anchor.name,
+                               {}, {}};
+        for (double f : frequencies_ghz) {
+            room.frequencyGhz.push_back(f);
+            room.topsPerWatt.push_back(anchor.refTopsPerWatt);
+            cryo.frequencyGhz.push_back(f);
+            cryo.topsPerWatt.push_back(
+                CryoCmos::deviceEfficiency(anchor.refTopsPerWatt));
+            cooled.frequencyGhz.push_back(f);
+            cooled.topsPerWatt.push_back(
+                CryoCmos::cooledEfficiency(anchor.refTopsPerWatt));
+        }
+        curves.push_back(std::move(room));
+        curves.push_back(std::move(cryo));
+        curves.push_back(std::move(cooled));
+    }
+
+    EfficiencyCurve ours{"Ours (4K, w/o cooling)", {}, {}};
+    EfficiencyCurve ours_cooled{"Ours (4K, w/ cooling)", {}, {}};
+    for (double f : frequencies_ghz) {
+        ours.frequencyGhz.push_back(f);
+        ours.topsPerWatt.push_back(
+            aqfpEfficiencyAt(aqfp_tops_at_5ghz, f, false));
+        ours_cooled.frequencyGhz.push_back(f);
+        ours_cooled.topsPerWatt.push_back(
+            aqfpEfficiencyAt(aqfp_tops_at_5ghz, f, true));
+    }
+    curves.push_back(std::move(ours));
+    curves.push_back(std::move(ours_cooled));
+    return curves;
+}
+
+} // namespace superbnn::baselines

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cryogenic-CMOS and frequency-scaling comparison models (paper
+ * Section 6.5, Fig. 12).
+ *
+ * The paper compares AQFP against room-temperature CMOS and 77 K
+ * Cryo-CMOS across clock frequencies using these scaling rules:
+ *  - 77 K Cryo-CMOS achieves about 1.5x the energy efficiency of room-
+ *    temperature CMOS (reduced leakage/wire latency).
+ *  - 77 K cooling consumes about 9.65x the device power, so cooled
+ *    efficiency divides by (1 + 9.65).
+ *  - CMOS switching energy per op is roughly frequency independent
+ *    (CV^2-dominated), so its TOPS/W is modelled flat in frequency.
+ *  - AQFP is adiabatic: dissipation per op scales linearly with clock
+ *    frequency, so TOPS/W scales as 1/f — lower frequency means higher
+ *    efficiency — and 4.2 K cooling divides by 400.
+ */
+
+#ifndef SUPERBNN_BASELINES_CRYO_H
+#define SUPERBNN_BASELINES_CRYO_H
+
+#include <string>
+#include <vector>
+
+namespace superbnn::baselines {
+
+/** 77 K Cryo-CMOS transformation constants. */
+struct CryoCmos
+{
+    /// Efficiency gain of 77 K CMOS over room temperature.
+    static constexpr double kEfficiencyGain = 1.5;
+    /// Cooling power as a multiple of device power at 77 K.
+    static constexpr double kCoolingOverhead = 9.65;
+
+    /** Device-only efficiency of the cryo version of a room design. */
+    static double deviceEfficiency(double room_tops_per_watt);
+
+    /** Efficiency including LN cooling power. */
+    static double cooledEfficiency(double room_tops_per_watt);
+};
+
+/** A named efficiency-vs-frequency curve for the Fig. 12 plot. */
+struct EfficiencyCurve
+{
+    std::string name;
+    std::vector<double> frequencyGhz;
+    std::vector<double> topsPerWatt;
+};
+
+/**
+ * A CMOS-family design anchored at a published operating point; its
+ * efficiency is modelled flat in frequency.
+ */
+struct CmosAnchor
+{
+    std::string name;
+    double refFrequencyGhz;
+    double refTopsPerWatt;
+    std::string provenance;
+};
+
+/** The CMOS anchors used in Fig. 12. */
+const std::vector<CmosAnchor> &fig12CmosAnchors();
+
+/**
+ * Build all Fig.-12 series over a frequency grid:
+ * room CMOS, Cryo-CMOS w/o cooling, Cryo-CMOS w/ cooling for every
+ * anchor, plus the AQFP curves computed from @p aqfp_tops_at_5ghz (our
+ * measured efficiency at the 5 GHz design point).
+ */
+std::vector<EfficiencyCurve>
+fig12Series(const std::vector<double> &frequencies_ghz,
+            double aqfp_tops_at_5ghz);
+
+/** AQFP adiabatic frequency scaling: eff(f) = eff(5 GHz) * 5 / f. */
+double aqfpEfficiencyAt(double tops_at_5ghz, double frequency_ghz,
+                        bool with_cooling);
+
+} // namespace superbnn::baselines
+
+#endif // SUPERBNN_BASELINES_CRYO_H

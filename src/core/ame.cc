@@ -1,0 +1,76 @@
+#include "core/ame.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::core {
+
+namespace {
+constexpr double kSqrtPi = 1.7724538509055160273;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+} // namespace
+
+AmeAnalyzer::AmeAnalyzer(aqfp::AttenuationModel attenuation,
+                         AmeOptions options)
+    : atten(std::move(attenuation)), opts(options)
+{
+    assert(opts.sigma > 0.0);
+    assert(opts.intervals >= 2);
+}
+
+double
+AmeAnalyzer::ame(double crossbar_size, double delta_iin_ua) const
+{
+    assert(crossbar_size >= 1.0 && delta_iin_ua > 0.0);
+    const double cs = crossbar_size;
+    const double dvin = atten.valueGrayZone(cs, delta_iin_ua);
+    const double mean = cs * opts.mu;
+    const double stddev = std::sqrt(cs) * opts.sigma;
+
+    // Simpson's rule over [-Cs, +Cs].
+    const std::size_t n = opts.intervals + (opts.intervals % 2); // even
+    const double h = 2.0 * cs / static_cast<double>(n);
+    auto integrand = [&](double x) {
+        const double y =
+            std::erf(kSqrtPi * (x - opts.vth) / dvin) * cs;
+        const double z = (x - mean) / stddev;
+        const double f =
+            kInvSqrt2Pi / stddev * std::exp(-0.5 * z * z);
+        const double d = x - y;
+        return f * d * d;
+    };
+    double acc = integrand(-cs) + integrand(cs);
+    for (std::size_t i = 1; i < n; ++i) {
+        const double x = -cs + h * static_cast<double>(i);
+        acc += integrand(x) * (i % 2 == 1 ? 4.0 : 2.0);
+    }
+    const double integral = acc * h / 3.0;
+    return integral / cs;
+}
+
+std::vector<AmePoint>
+AmeAnalyzer::sweep(const std::vector<double> &crossbar_sizes,
+                   const std::vector<double> &gray_zones) const
+{
+    std::vector<AmePoint> points;
+    points.reserve(crossbar_sizes.size() * gray_zones.size());
+    for (double cs : crossbar_sizes)
+        for (double gz : gray_zones)
+            points.push_back({cs, gz, ame(cs, gz)});
+    return points;
+}
+
+AmePoint
+AmeAnalyzer::minimize(const std::vector<double> &crossbar_sizes,
+                      const std::vector<double> &gray_zones) const
+{
+    assert(!crossbar_sizes.empty() && !gray_zones.empty());
+    const auto points = sweep(crossbar_sizes, gray_zones);
+    AmePoint best = points.front();
+    for (const auto &p : points)
+        if (p.ame < best.ame)
+            best = p;
+    return best;
+}
+
+} // namespace superbnn::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Average mismatch error (AME) analysis (paper Section 5.4.2, Eq. 18).
+ *
+ * The AQFP buffer's nonlinear probability makes the expected value
+ * carried by a stochastic stream, y = erf(sqrt(pi)(x - Vth)/deltaVin(Cs))
+ * * Cs, deviate from the true latent value x. Weighted by the activation
+ * distribution f(x|Cs) ~ N(Cs mu, Cs sigma^2), the mean squared deviation
+ *
+ *   AME = (1/Cs) * Integral_{-Cs}^{+Cs} f(x|Cs) (x - y)^2 dx
+ *
+ * quantifies the expectation mismatch. The co-optimizer minimizes AME
+ * over (Cs, deltaIin) under energy constraints.
+ */
+
+#ifndef SUPERBNN_CORE_AME_H
+#define SUPERBNN_CORE_AME_H
+
+#include <cstddef>
+#include <vector>
+
+#include "aqfp/attenuation.h"
+
+namespace superbnn::core {
+
+/** Distribution / integration knobs for the AME computation. */
+struct AmeOptions
+{
+    double mu = 0.0;      ///< per-cell activation mean (f scales by Cs)
+    double sigma = 1.0;   ///< per-cell activation stddev
+    double vth = 0.0;     ///< threshold
+    std::size_t intervals = 4000;  ///< Simpson integration resolution
+};
+
+/** One point of an AME sweep. */
+struct AmePoint
+{
+    double crossbarSize;
+    double deltaIinUa;
+    double ame;
+};
+
+/** Computes Eq. 18 and sweeps it over hardware configurations. */
+class AmeAnalyzer
+{
+  public:
+    explicit AmeAnalyzer(aqfp::AttenuationModel atten,
+                         AmeOptions options = {});
+
+    /** AME for one (Cs, deltaIin) configuration. */
+    double ame(double crossbar_size, double delta_iin_ua) const;
+
+    /** Full grid sweep. */
+    std::vector<AmePoint>
+    sweep(const std::vector<double> &crossbar_sizes,
+          const std::vector<double> &gray_zones) const;
+
+    /** Grid point with minimal AME. */
+    AmePoint minimize(const std::vector<double> &crossbar_sizes,
+                      const std::vector<double> &gray_zones) const;
+
+    const AmeOptions &options() const { return opts; }
+
+  private:
+    aqfp::AttenuationModel atten;
+    AmeOptions opts;
+};
+
+} // namespace superbnn::core
+
+#endif // SUPERBNN_CORE_AME_H

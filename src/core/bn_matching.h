@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batch normalization matching (paper Section 5.2, Eqs. 11-16).
+ *
+ * At inference, BN is an affine transform; combined with HardTanh and the
+ * sign/randomized binarization of the BNN cell, the whole cell reduces to
+ * a comparison of the raw (unscaled) convolution sum against a per-channel
+ * threshold in the latent value domain:
+ *
+ *   vth_c = mu_c / alpha_c - beta_c * sqrt(var_c + eps) / (gamma_c alpha_c)
+ *
+ * (the paper expresses the same threshold in current units via Eq. 16:
+ * Ith = vth * I1(Cs)). When gamma_c < 0 the comparison flips: the cell
+ * outputs +1 with probability 1 - Pv (Eq. 15), realized in hardware with
+ * an inverter after the neuron. No other peripheral circuits are needed.
+ */
+
+#ifndef SUPERBNN_CORE_BN_MATCHING_H
+#define SUPERBNN_CORE_BN_MATCHING_H
+
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "tensor/tensor.h"
+
+namespace superbnn::core {
+
+/** The result of folding one BN layer into neuron thresholds. */
+struct FoldedBn
+{
+    /// Value-domain thresholds, one per channel (compare raw sum >= vth).
+    std::vector<double> vth;
+    /// Channels whose comparison is inverted (gamma < 0).
+    std::vector<bool> flip;
+
+    std::size_t channels() const { return vth.size(); }
+};
+
+/**
+ * Fold a trained BatchNorm (inference statistics) together with the
+ * preceding binary layer's per-channel scaling alpha.
+ *
+ * @param bn     trained batch-norm layer (running stats are read)
+ * @param alpha  per-channel scaling of the preceding binary layer
+ */
+FoldedBn foldBatchNorm(const nn::BatchNorm &bn, const Tensor &alpha);
+
+/**
+ * Reference check used by tests: probability that the explicit pipeline
+ * (BN -> HardTanh -> randomized sign with gray-zone deltaVin) emits +1
+ * for a raw sum @p s on channel @p c.
+ */
+double explicitCellProbability(const nn::BatchNorm &bn,
+                               const Tensor &alpha, std::size_t c,
+                               double s, double delta_vin);
+
+/**
+ * Probability the folded form emits +1 for the same raw sum: Pv against
+ * vth with flip handling. Must match explicitCellProbability.
+ */
+double foldedCellProbability(const FoldedBn &folded, std::size_t c,
+                             double s, double delta_vin);
+
+} // namespace superbnn::core
+
+#endif // SUPERBNN_CORE_BN_MATCHING_H

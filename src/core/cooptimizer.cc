@@ -1,0 +1,73 @@
+#include "core/cooptimizer.h"
+
+#include <cassert>
+
+namespace superbnn::core {
+
+CoOptimizer::CoOptimizer(aqfp::AttenuationModel attenuation,
+                         aqfp::EnergyModel energy_model,
+                         AmeOptions ame_options)
+    : atten(attenuation), energy(std::move(energy_model)),
+      ameAnalyzer(std::move(attenuation), ame_options)
+{
+    (void)atten; // silences unused warning paths in release builds
+}
+
+std::vector<CoOptCandidate>
+CoOptimizer::enumerate(const aqfp::WorkloadSpec &workload,
+                       const CoOptSpace &space) const
+{
+    std::vector<CoOptCandidate> out;
+    for (std::size_t cs : space.crossbarSizes) {
+        for (std::size_t len : space.bitstreamLengths) {
+            for (double gz : space.grayZones) {
+                CoOptCandidate cand;
+                cand.config = {cs, len, space.frequencyGhz, gz};
+                cand.energy = energy.evaluate(workload, cand.config);
+                if (cand.energy.topsPerWatt < space.minTopsPerWatt)
+                    continue;
+                if (space.maxTotalJj != 0
+                    && cand.energy.totalJj > space.maxTotalJj)
+                    continue;
+                cand.ame = ameAnalyzer.ame(static_cast<double>(cs), gz);
+                out.push_back(std::move(cand));
+            }
+        }
+    }
+    return out;
+}
+
+CoOptCandidate
+CoOptimizer::bestByAme(const aqfp::WorkloadSpec &workload,
+                       const CoOptSpace &space) const
+{
+    auto cands = enumerate(workload, space);
+    assert(!cands.empty() && "no feasible hardware configuration");
+    CoOptCandidate best = cands.front();
+    for (const auto &c : cands)
+        if (c.ame < best.ame)
+            best = c;
+    return best;
+}
+
+CoOptCandidate
+CoOptimizer::optimize(const aqfp::WorkloadSpec &workload,
+                      const CoOptSpace &space,
+                      const AccuracyFn &measure) const
+{
+    auto cands = enumerate(workload, space);
+    assert(!cands.empty() && "no feasible hardware configuration");
+    for (auto &c : cands)
+        c.accuracy = measure(c.config);
+    CoOptCandidate best = cands.front();
+    for (const auto &c : cands) {
+        if (*c.accuracy > *best.accuracy
+            || (*c.accuracy == *best.accuracy
+                && c.energy.topsPerWatt > best.energy.topsPerWatt)) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace superbnn::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Algorithm/hardware co-optimization of the accelerator configuration
+ * (paper Section 5.4): crossbar size Cs, gray-zone width deltaIin and SC
+ * bitstream length L are chosen by (1) constraining Cs/L to the range
+ * meeting the energy-efficiency demand via the energy model, then (2)
+ * minimizing the average mismatch error (or maximizing a measured
+ * accuracy callback) inside the feasible set.
+ */
+
+#ifndef SUPERBNN_CORE_COOPTIMIZER_H
+#define SUPERBNN_CORE_COOPTIMIZER_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "aqfp/energy.h"
+#include "core/ame.h"
+
+namespace superbnn::core {
+
+/** The co-optimization search space and constraints. */
+struct CoOptSpace
+{
+    std::vector<std::size_t> crossbarSizes = {8, 16, 18, 36, 72};
+    std::vector<double> grayZones = {0.8, 1.6, 2.4, 3.2, 4.0};
+    std::vector<std::size_t> bitstreamLengths = {1, 2, 4, 8, 16, 32};
+    double frequencyGhz = 5.0;
+    /// Feasibility constraint: device efficiency must be at least this.
+    double minTopsPerWatt = 0.0;
+    /// Optional cap on total JJ budget (0 = unlimited).
+    std::size_t maxTotalJj = 0;
+};
+
+/** One evaluated candidate. */
+struct CoOptCandidate
+{
+    aqfp::AcceleratorConfig config;
+    aqfp::EnergyReport energy;
+    double ame = 0.0;
+    std::optional<double> accuracy; ///< set when a callback was used
+};
+
+/** Callback measuring accuracy of one hardware configuration. */
+using AccuracyFn =
+    std::function<double(const aqfp::AcceleratorConfig &)>;
+
+/**
+ * Enumerates, filters and ranks hardware configurations.
+ */
+class CoOptimizer
+{
+  public:
+    CoOptimizer(aqfp::AttenuationModel atten,
+                aqfp::EnergyModel energy_model = aqfp::EnergyModel(),
+                AmeOptions ame_options = {});
+
+    /** All feasible candidates for a workload, AME filled in. */
+    std::vector<CoOptCandidate>
+    enumerate(const aqfp::WorkloadSpec &workload,
+              const CoOptSpace &space) const;
+
+    /** Feasible candidate with minimal AME (analytic proxy). */
+    CoOptCandidate bestByAme(const aqfp::WorkloadSpec &workload,
+                             const CoOptSpace &space) const;
+
+    /**
+     * Feasible candidate with maximal measured accuracy; ties broken by
+     * higher energy efficiency. The callback is invoked once per
+     * feasible candidate — keep the evaluation subset small.
+     */
+    CoOptCandidate optimize(const aqfp::WorkloadSpec &workload,
+                            const CoOptSpace &space,
+                            const AccuracyFn &measure) const;
+
+  private:
+    aqfp::AttenuationModel atten;
+    aqfp::EnergyModel energy;
+    AmeAnalyzer ameAnalyzer;
+};
+
+} // namespace superbnn::core
+
+#endif // SUPERBNN_CORE_COOPTIMIZER_H

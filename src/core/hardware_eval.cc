@@ -1,0 +1,233 @@
+#include "core/hardware_eval.h"
+
+#include <cassert>
+
+namespace superbnn::core {
+
+HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
+                                     HardwareConfig config)
+    : atten(std::move(attenuation)), cfg(config),
+      executor(config.window, config.exactApc, config.dropFraction)
+{
+}
+
+void
+HardwareEvaluator::mapMlp(const RandomizedMlp &model)
+{
+    kind = Kind::Mlp;
+    mapped.clear();
+    const crossbar::CrossbarMapper mapper(cfg.crossbarSize, atten,
+                                          cfg.deltaIinUa);
+    for (const auto &cell : model.cells()) {
+        MappedCell mc;
+        mc.layer = mapper.map(cell.linear->signedWeights());
+        const FoldedBn folded =
+            foldBatchNorm(*cell.bn, cell.linear->alpha().value);
+        crossbar::CrossbarMapper::setThresholds(mc.layer, folded.vth);
+        mc.flip = folded.flip;
+        mapped.push_back(std::move(mc));
+    }
+    const auto &head = model.head();
+    headMapped = mapper.map(head.signedWeights());
+    headAlpha.assign(head.alpha().value.data(),
+                     head.alpha().value.data()
+                         + head.alpha().value.size());
+}
+
+void
+HardwareEvaluator::mapCnn(const RandomizedCnn &model)
+{
+    kind = Kind::Cnn;
+    mapped.clear();
+    const crossbar::CrossbarMapper mapper(cfg.crossbarSize, atten,
+                                          cfg.deltaIinUa);
+    std::size_t side = model.config().inputSide;
+    std::size_t in_ch = model.config().inputChannels;
+    for (const auto &cell : model.cells()) {
+        MappedCell mc;
+        mc.layer = mapper.map(cell.conv->signedWeightMatrix());
+        const FoldedBn folded =
+            foldBatchNorm(*cell.bn, cell.conv->alpha().value);
+        crossbar::CrossbarMapper::setThresholds(mc.layer, folded.vth);
+        mc.flip = folded.flip;
+        mc.inChannels = in_ch;
+        mc.inSide = side;
+        mc.outChannels = cell.conv->outChannels();
+        mc.pooled = cell.pooled;
+        mapped.push_back(std::move(mc));
+        in_ch = mc.outChannels;
+        if (cell.pooled)
+            side /= 2;
+    }
+    const auto &head = model.head();
+    headMapped = mapper.map(head.signedWeights());
+    headAlpha.assign(head.alpha().value.data(),
+                     head.alpha().value.data()
+                         + head.alpha().value.size());
+}
+
+std::vector<int>
+HardwareEvaluator::binarizeInput(const Tensor &sample) const
+{
+    std::vector<int> out(sample.size());
+    for (std::size_t i = 0; i < sample.size(); ++i)
+        out[i] = sample[i] >= 0.0f ? 1 : -1;
+    return out;
+}
+
+std::vector<double>
+HardwareEvaluator::runMlp(const std::vector<int> &input, Rng &rng) const
+{
+    std::vector<int> acts = input;
+    for (const auto &mc : mapped) {
+        std::vector<int> next = executor.forward(mc.layer, acts, rng);
+        for (std::size_t j = 0; j < next.size(); ++j) {
+            if (mc.flip[j])
+                next[j] = -next[j];
+        }
+        acts = std::move(next);
+    }
+    std::vector<double> scores =
+        executor.forwardDecoded(headMapped, acts, rng);
+    for (std::size_t j = 0; j < scores.size(); ++j)
+        scores[j] *= headAlpha[j];
+    return scores;
+}
+
+std::vector<double>
+HardwareEvaluator::runCnn(const std::vector<int> &input, Rng &rng) const
+{
+    // Activations held channel-major: acts[c * side * side + y * side + x].
+    std::vector<int> acts = input;
+    for (const auto &mc : mapped) {
+        const std::size_t side = mc.inSide;
+        const std::size_t in_ch = mc.inChannels;
+        const std::size_t out_ch = mc.outChannels;
+        std::vector<int> conv_out(out_ch * side * side);
+        std::vector<int> patch(in_ch * 9);
+        for (std::size_t y = 0; y < side; ++y) {
+            for (std::size_t x = 0; x < side; ++x) {
+                // Gather the padded 3x3 receptive field (padding rows
+                // are driven with no current -> activation 0).
+                std::size_t p = 0;
+                for (std::size_t c = 0; c < in_ch; ++c) {
+                    for (int ky = -1; ky <= 1; ++ky) {
+                        for (int kx = -1; kx <= 1; ++kx, ++p) {
+                            const int iy = static_cast<int>(y) + ky;
+                            const int ix = static_cast<int>(x) + kx;
+                            if (iy < 0 || ix < 0
+                                || iy >= static_cast<int>(side)
+                                || ix >= static_cast<int>(side)) {
+                                patch[p] = 0;
+                            } else {
+                                patch[p] = acts[(c * side + iy) * side
+                                                + ix];
+                            }
+                        }
+                    }
+                }
+                const std::vector<int> outs =
+                    executor.forward(mc.layer, patch, rng);
+                for (std::size_t o = 0; o < out_ch; ++o) {
+                    int v = outs[o];
+                    if (mc.flip[o])
+                        v = -v;
+                    conv_out[(o * side + y) * side + x] = v;
+                }
+            }
+        }
+        if (mc.pooled) {
+            const std::size_t half = side / 2;
+            std::vector<int> pooled(out_ch * half * half);
+            for (std::size_t c = 0; c < out_ch; ++c) {
+                for (std::size_t y = 0; y < half; ++y) {
+                    for (std::size_t x = 0; x < half; ++x) {
+                        int best = -1;
+                        for (int ky = 0; ky < 2; ++ky)
+                            for (int kx = 0; kx < 2; ++kx)
+                                best = std::max(
+                                    best,
+                                    conv_out[(c * side + 2 * y + ky)
+                                                 * side
+                                             + 2 * x + kx]);
+                        pooled[(c * half + y) * half + x] = best;
+                    }
+                }
+            }
+            acts = std::move(pooled);
+        } else {
+            acts = std::move(conv_out);
+        }
+    }
+    std::vector<double> scores =
+        executor.forwardDecoded(headMapped, acts, rng);
+    for (std::size_t j = 0; j < scores.size(); ++j)
+        scores[j] *= headAlpha[j];
+    return scores;
+}
+
+std::vector<double>
+HardwareEvaluator::classScores(const Tensor &sample, Rng &rng) const
+{
+    assert(kind != Kind::None && "map a model first");
+    const std::vector<int> input = binarizeInput(sample);
+    return kind == Kind::Mlp ? runMlp(input, rng) : runCnn(input, rng);
+}
+
+std::size_t
+HardwareEvaluator::predict(const Tensor &sample, Rng &rng) const
+{
+    const auto scores = classScores(sample, rng);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < scores.size(); ++j)
+        if (scores[j] > scores[best])
+            best = j;
+    return best;
+}
+
+double
+HardwareEvaluator::evaluate(const data::Dataset &dataset,
+                            std::size_t max_samples, Rng &rng) const
+{
+    const std::size_t count = max_samples == 0
+        ? dataset.size()
+        : std::min(max_samples, dataset.size());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (predict(dataset.sample(i), rng) == dataset.labels[i])
+            ++correct;
+    }
+    return count == 0 ? 0.0
+                      : static_cast<double>(correct)
+            / static_cast<double>(count);
+}
+
+std::size_t
+HardwareEvaluator::injectVariation(double gray_zone_sigma,
+                                   double stuck_cell_fraction, Rng &rng)
+{
+    std::size_t stuck = 0;
+    auto hit = [&](crossbar::MappedLayer &layer) {
+        for (auto &tile : layer.tiles) {
+            if (gray_zone_sigma > 0.0)
+                tile.applyGrayZoneVariation(gray_zone_sigma, rng);
+            if (stuck_cell_fraction > 0.0)
+                stuck += tile.injectStuckCells(stuck_cell_fraction, rng);
+        }
+    };
+    for (auto &mc : mapped)
+        hit(mc.layer);
+    hit(headMapped);
+    return stuck;
+}
+
+std::size_t
+HardwareEvaluator::totalCrossbars() const
+{
+    std::size_t total = headMapped.tileCount();
+    for (const auto &mc : mapped)
+        total += mc.layer.tileCount();
+    return total;
+}
+
+} // namespace superbnn::core

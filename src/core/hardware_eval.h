@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hardware-in-the-loop evaluation: runs a trained SupeRBNN model on the
+ * crossbar + stochastic-computing simulator (paper Fig. 7: weights
+ * pre-stored per crossbar, BN matched into neuron thresholds, SC-based
+ * accumulation between crossbars, binary activations between layers).
+ *
+ * This is the measurement path behind Figures 10 and 11 and the accuracy
+ * columns of Tables 2 and 3.
+ */
+
+#ifndef SUPERBNN_CORE_HARDWARE_EVAL_H
+#define SUPERBNN_CORE_HARDWARE_EVAL_H
+
+#include <vector>
+
+#include "core/bn_matching.h"
+#include "core/models.h"
+#include "crossbar/mapper.h"
+#include "crossbar/tile_executor.h"
+#include "data/dataset.h"
+
+namespace superbnn::core {
+
+/** Hardware simulation configuration. */
+struct HardwareConfig
+{
+    std::size_t crossbarSize = 16;   ///< Cs
+    std::size_t window = 16;         ///< SC bitstream length L
+    double deltaIinUa = 2.4;         ///< neuron gray-zone width
+    bool exactApc = false;           ///< ablation: exact parallel counter
+    double dropFraction = 0.25;      ///< APC approximation level
+};
+
+/**
+ * Maps a trained model onto simulated AQFP hardware and evaluates it.
+ */
+class HardwareEvaluator
+{
+  public:
+    HardwareEvaluator(aqfp::AttenuationModel atten, HardwareConfig config);
+
+    /** Map a trained MLP (reads weights, folds BN into thresholds). */
+    void mapMlp(const RandomizedMlp &model);
+
+    /** Map a trained CNN. */
+    void mapCnn(const RandomizedCnn &model);
+
+    /**
+     * Class scores of one sample: the head crossbar's decoded APC counts
+     * scaled by the head's alpha (a small digital post-multiply).
+     *
+     * @param sample  (1, D) or (1, C, H, W) float input
+     */
+    std::vector<double> classScores(const Tensor &sample, Rng &rng) const;
+
+    /** Argmax of classScores. */
+    std::size_t predict(const Tensor &sample, Rng &rng) const;
+
+    /**
+     * Accuracy over (a subset of) a dataset.
+     * @param max_samples cap (0 = all)
+     */
+    double evaluate(const data::Dataset &dataset, std::size_t max_samples,
+                    Rng &rng) const;
+
+    /** Total crossbar tiles across all mapped layers. */
+    std::size_t totalCrossbars() const;
+
+    /**
+     * Robustness experiments: apply fabrication gray-zone variation
+     * and/or stuck-cell faults to every mapped tile (including the
+     * head). Returns the number of stuck cells injected.
+     */
+    std::size_t injectVariation(double gray_zone_sigma,
+                                double stuck_cell_fraction, Rng &rng);
+
+    const HardwareConfig &config() const { return cfg; }
+
+  private:
+    struct MappedCell
+    {
+        crossbar::MappedLayer layer;
+        std::vector<bool> flip;
+        // CNN geometry (unused for MLP cells).
+        std::size_t inChannels = 0;
+        std::size_t inSide = 0;
+        std::size_t outChannels = 0;
+        bool pooled = false;
+    };
+
+    enum class Kind { None, Mlp, Cnn };
+
+    aqfp::AttenuationModel atten;
+    HardwareConfig cfg;
+    crossbar::TileExecutor executor;
+    Kind kind = Kind::None;
+    std::vector<MappedCell> mapped;
+    crossbar::MappedLayer headMapped;
+    std::vector<float> headAlpha;
+
+    std::vector<int> binarizeInput(const Tensor &sample) const;
+    std::vector<double> runMlp(const std::vector<int> &input,
+                               Rng &rng) const;
+    std::vector<double> runCnn(const std::vector<int> &input,
+                               Rng &rng) const;
+};
+
+} // namespace superbnn::core
+
+#endif // SUPERBNN_CORE_HARDWARE_EVAL_H

@@ -1,0 +1,153 @@
+#include "crossbar/crossbar_array.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace superbnn::crossbar {
+
+CrossbarArray::CrossbarArray(std::size_t size,
+                             const aqfp::AttenuationModel &attenuation,
+                             double delta_iin_ua)
+    : size_(size),
+      unitCurrent(attenuation.currentForValueOne(
+          static_cast<double>(size))),
+      cells(size * size),
+      neurons(size, NeuronCircuit(delta_iin_ua, 0.0))
+{
+    assert(size >= 1);
+}
+
+LimCell &
+CrossbarArray::cell(std::size_t r, std::size_t c)
+{
+    assert(r < size_ && c < size_);
+    return cells[r * size_ + c];
+}
+
+const LimCell &
+CrossbarArray::cell(std::size_t r, std::size_t c) const
+{
+    assert(r < size_ && c < size_);
+    return cells[r * size_ + c];
+}
+
+void
+CrossbarArray::programWeights(const std::vector<std::vector<int>> &weights)
+{
+    assert(weights.size() <= size_);
+    for (auto &c : cells)
+        c.clear();
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+        assert(weights[r].size() <= size_);
+        for (std::size_t c = 0; c < weights[r].size(); ++c)
+            cell(r, c).program(weights[r][c]);
+    }
+}
+
+void
+CrossbarArray::programCell(std::size_t row, std::size_t col, int weight)
+{
+    cell(row, col).program(weight);
+}
+
+void
+CrossbarArray::setColumnThreshold(std::size_t col, double ith_ua)
+{
+    assert(col < size_);
+    neurons[col].setIthUa(ith_ua);
+}
+
+void
+CrossbarArray::setColumnThresholdValue(std::size_t col, double vth)
+{
+    setColumnThreshold(col, vth * unitCurrent);
+}
+
+int
+CrossbarArray::columnSum(std::size_t col,
+                         const std::vector<int> &activations) const
+{
+    assert(col < size_);
+    int sum = 0;
+    const std::size_t rows = std::min(activations.size(), size_);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const LimCell &lc = cell(r, col);
+        if (lc.active())
+            sum += lc.multiply(activations[r]);
+    }
+    return sum;
+}
+
+double
+CrossbarArray::columnCurrent(std::size_t col,
+                             const std::vector<int> &activations) const
+{
+    return static_cast<double>(columnSum(col, activations)) * unitCurrent;
+}
+
+std::vector<int>
+CrossbarArray::evaluate(const std::vector<int> &activations, Rng &rng) const
+{
+    std::vector<int> out(size_);
+    for (std::size_t c = 0; c < size_; ++c)
+        out[c] = neurons[c].fire(columnCurrent(c, activations), rng);
+    return out;
+}
+
+std::vector<sc::Bitstream>
+CrossbarArray::observe(const std::vector<int> &activations,
+                       std::size_t window, Rng &rng) const
+{
+    std::vector<sc::Bitstream> out;
+    out.reserve(size_);
+    for (std::size_t c = 0; c < size_; ++c)
+        out.push_back(
+            neurons[c].observe(columnCurrent(c, activations), window, rng));
+    return out;
+}
+
+std::vector<double>
+CrossbarArray::columnProbabilities(
+    const std::vector<int> &activations) const
+{
+    std::vector<double> out(size_);
+    for (std::size_t c = 0; c < size_; ++c)
+        out[c] = neurons[c].probOne(columnCurrent(c, activations));
+    return out;
+}
+
+const NeuronCircuit &
+CrossbarArray::neuron(std::size_t col) const
+{
+    assert(col < size_);
+    return neurons[col];
+}
+
+void
+CrossbarArray::applyGrayZoneVariation(double sigma, Rng &rng)
+{
+    assert(sigma >= 0.0);
+    for (auto &n : neurons) {
+        const double base = n.deltaIinUa();
+        const double factor =
+            std::max(0.1, 1.0 + sigma * rng.normal());
+        const double ith = n.ithUa();
+        n = NeuronCircuit(base * factor, ith);
+    }
+}
+
+std::size_t
+CrossbarArray::injectStuckCells(double fraction, Rng &rng)
+{
+    assert(fraction >= 0.0 && fraction <= 1.0);
+    std::size_t knocked = 0;
+    for (auto &c : cells) {
+        if (c.active() && rng.bernoulli(fraction)) {
+            c.clear();
+            ++knocked;
+        }
+    }
+    return knocked;
+}
+
+} // namespace superbnn::crossbar

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * AQFP crossbar synapse array simulator (paper Sections 4.1-4.2, Fig. 3).
+ *
+ * A Cs x Cs array of LiM cells. An input vector of binary activations
+ * drives the rows; each column's cell outputs merge in the analog domain
+ * through the inductance ladder (current attenuation grows with Cs), and
+ * the column's AQFP neuron stochastically binarizes the merged current.
+ */
+
+#ifndef SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H
+#define SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "aqfp/attenuation.h"
+#include "crossbar/lim_cell.h"
+#include "crossbar/neuron.h"
+#include "sc/bitstream.h"
+
+namespace superbnn::crossbar {
+
+/**
+ * One physical crossbar tile with its column neurons.
+ */
+class CrossbarArray
+{
+  public:
+    /**
+     * @param size          Cs: rows = columns = size
+     * @param attenuation   calibrated attenuation model (shared semantics
+     *                      with training via I1(Cs))
+     * @param delta_iin_ua  neuron gray-zone width
+     */
+    CrossbarArray(std::size_t size,
+                  const aqfp::AttenuationModel &attenuation,
+                  double delta_iin_ua = 2.4);
+
+    std::size_t size() const { return size_; }
+
+    /**
+     * Program a weight sub-matrix. weights[r][c] must be +1/-1; rows/cols
+     * beyond the provided extents stay inactive (padding).
+     */
+    void programWeights(const std::vector<std::vector<int>> &weights);
+
+    /** Program one cell. */
+    void programCell(std::size_t row, std::size_t col, int weight);
+
+    /** Set the threshold current (uA) of one column's neuron. */
+    void setColumnThreshold(std::size_t col, double ith_ua);
+
+    /**
+     * Set a column threshold in the value domain (latent BNN units): the
+     * neuron threshold becomes vth * I1(Cs), per Eq. 16.
+     */
+    void setColumnThresholdValue(std::size_t col, double vth);
+
+    /** Per-unit output current I1(Cs) of this tile (uA). */
+    double unitCurrentUa() const { return unitCurrent; }
+
+    /**
+     * Merged analog current (uA) of one column for a +/-1 activation
+     * vector (entries beyond the programmed rows are ignored by inactive
+     * cells).
+     */
+    double columnCurrent(std::size_t col,
+                         const std::vector<int> &activations) const;
+
+    /** Latent (value-domain) column sum: sum of XNOR products. */
+    int columnSum(std::size_t col,
+                  const std::vector<int> &activations) const;
+
+    /** One stochastic binarized readout of every column: +/-1 each. */
+    std::vector<int> evaluate(const std::vector<int> &activations,
+                              Rng &rng) const;
+
+    /**
+     * Observe every column neuron for @p window cycles with the inputs
+     * held: returns one stochastic bitstream per column (Fig. 6a).
+     */
+    std::vector<sc::Bitstream>
+    observe(const std::vector<int> &activations, std::size_t window,
+            Rng &rng) const;
+
+    /** Probability of '1' per column (the exact Eq.-1 probabilities). */
+    std::vector<double>
+    columnProbabilities(const std::vector<int> &activations) const;
+
+    const NeuronCircuit &neuron(std::size_t col) const;
+
+    /**
+     * Fabrication-variation injection: multiply every column neuron's
+     * gray-zone width by a log-normal-ish factor (1 + sigma * N(0,1),
+     * clamped positive). Models the junction-critical-current spread of
+     * the niobium process.
+     */
+    void applyGrayZoneVariation(double sigma, Rng &rng);
+
+    /**
+     * Fault injection: a fraction of LiM cells become stuck (lose their
+     * stored flux and stop emitting current pulses). Returns the number
+     * of cells actually knocked out.
+     */
+    std::size_t injectStuckCells(double fraction, Rng &rng);
+
+  private:
+    std::size_t size_;
+    double unitCurrent;      ///< I1(Cs) in uA
+    std::vector<LimCell> cells;          // row-major size_ x size_
+    std::vector<NeuronCircuit> neurons;  // one per column
+
+    LimCell &cell(std::size_t r, std::size_t c);
+    const LimCell &cell(std::size_t r, std::size_t c) const;
+};
+
+} // namespace superbnn::crossbar
+
+#endif // SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H

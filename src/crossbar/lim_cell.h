@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Logic-in-memory (LiM) cell of the AQFP crossbar (paper Fig. 3).
+ *
+ * Each LiM cell pre-stores one binary weight in an AQFP buffer kept under
+ * high excitation current (the buffer doubles as a 1-bit memory) and
+ * multiplies it with the incoming binary activation via the in-cell XNOR
+ * macro. The product is emitted as a positive or negative current pulse
+ * that merges with the column's other outputs in the analog domain.
+ */
+
+#ifndef SUPERBNN_CROSSBAR_LIM_CELL_H
+#define SUPERBNN_CROSSBAR_LIM_CELL_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace superbnn::crossbar {
+
+/** One crossbar synapse: stored weight plus the XNOR multiply. */
+class LimCell
+{
+  public:
+    LimCell() = default;
+
+    /** Program the stored weight (+1 or -1) and mark the cell active. */
+    void
+    program(int weight)
+    {
+        assert(weight == 1 || weight == -1);
+        weight_ = static_cast<std::int8_t>(weight);
+        active_ = true;
+    }
+
+    /** De-program (padding cells contribute no current). */
+    void clear() { active_ = false; weight_ = 0; }
+
+    bool active() const { return active_; }
+    int weight() const { return weight_; }
+
+    /**
+     * XNOR multiply: for bipolar logic (+1/-1), XNOR is ordinary signed
+     * multiplication. Inactive cells output 0 (no current pulse), and an
+     * activation of 0 (a padding row driven with no current) likewise
+     * contributes nothing.
+     *
+     * @param activation +1, -1, or 0 (undriven padding row)
+     * @return the product in {-1, 0, +1}
+     */
+    int
+    multiply(int activation) const
+    {
+        assert(activation >= -1 && activation <= 1);
+        return active_ ? weight_ * activation : 0;
+    }
+
+  private:
+    std::int8_t weight_ = 0;
+    bool active_ = false;
+};
+
+} // namespace superbnn::crossbar
+
+#endif // SUPERBNN_CROSSBAR_LIM_CELL_H

@@ -1,0 +1,33 @@
+#include "crossbar/neuron.h"
+
+namespace superbnn::crossbar {
+
+NeuronCircuit::NeuronCircuit(double delta_iin_ua, double ith_ua)
+    : model(delta_iin_ua, ith_ua)
+{
+}
+
+double
+NeuronCircuit::probOne(double current_ua) const
+{
+    return model.probOne(current_ua);
+}
+
+int
+NeuronCircuit::fire(double current_ua, Rng &rng) const
+{
+    return model.sampleBipolar(current_ua, rng);
+}
+
+sc::Bitstream
+NeuronCircuit::observe(double current_ua, std::size_t window,
+                       Rng &rng) const
+{
+    sc::Bitstream out(window);
+    const double p = model.probOne(current_ua);
+    for (std::size_t i = 0; i < window; ++i)
+        out.setBit(i, rng.bernoulli(p));
+    return out;
+}
+
+} // namespace superbnn::crossbar

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AQFP neuron circuit of a crossbar column (paper Section 4.1).
+ *
+ * The neuron is a single AQFP buffer acting simultaneously as the sign
+ * function and the ADC: it senses the direction of the merged column
+ * current and emits a 1-bit result. Its threshold current Ith is
+ * programmable (the batch-norm matching of Section 5.2 writes it), and
+ * its decision is stochastic inside the gray-zone.
+ */
+
+#ifndef SUPERBNN_CROSSBAR_NEURON_H
+#define SUPERBNN_CROSSBAR_NEURON_H
+
+#include "aqfp/grayzone.h"
+#include "sc/bitstream.h"
+
+namespace superbnn::crossbar {
+
+/** One crossbar-column neuron: AQFP buffer with programmable threshold. */
+class NeuronCircuit
+{
+  public:
+    /**
+     * @param delta_iin_ua gray-zone width of the buffer (uA)
+     * @param ith_ua       threshold current (uA), default 0 (pure sign)
+     */
+    explicit NeuronCircuit(double delta_iin_ua = 2.4, double ith_ua = 0.0);
+
+    /** Probability of emitting '1' for a merged column current (uA). */
+    double probOne(double current_ua) const;
+
+    /** One stochastic decision: +1 / -1. */
+    int fire(double current_ua, Rng &rng) const;
+
+    /**
+     * Observe the neuron for @p window cycles with the column input held:
+     * the free stochastic-number generator of Fig. 6a.
+     */
+    sc::Bitstream observe(double current_ua, std::size_t window,
+                          Rng &rng) const;
+
+    double ithUa() const { return model.ith(); }
+    void setIthUa(double ith_ua) { model.setIth(ith_ua); }
+    double deltaIinUa() const { return model.deltaIin(); }
+
+    const aqfp::GrayZoneModel &grayZone() const { return model; }
+
+  private:
+    aqfp::GrayZoneModel model;
+};
+
+} // namespace superbnn::crossbar
+
+#endif // SUPERBNN_CROSSBAR_NEURON_H

@@ -1,0 +1,123 @@
+#include "crossbar/tile_executor.h"
+
+#include <cassert>
+
+namespace superbnn::crossbar {
+
+TileExecutor::TileExecutor(std::size_t window, bool use_exact_apc,
+                           double drop_fraction)
+    : window_(window), useExact(use_exact_apc), dropFraction(drop_fraction)
+{
+    assert(window >= 1);
+}
+
+std::vector<int>
+TileExecutor::forward(const MappedLayer &layer,
+                      const std::vector<int> &activations, Rng &rng) const
+{
+    assert(activations.size() == layer.fanIn);
+    std::vector<int> out(layer.fanOut, -1);
+    const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
+                                       dropFraction);
+
+    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
+        // Observe all row tiles of this column group.
+        std::vector<std::vector<sc::Bitstream>> streams; // [rt][col]
+        streams.reserve(layer.rowTiles);
+        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
+            const std::size_t r0 = rt * layer.cs;
+            const std::size_t rows =
+                std::min(layer.cs, layer.fanIn - r0);
+            std::vector<int> slice(activations.begin() + r0,
+                                   activations.begin() + r0 + rows);
+            streams.push_back(
+                layer.tile(rt, ct).observe(slice, window_, rng));
+        }
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::vector<sc::Bitstream> column;
+            column.reserve(layer.rowTiles);
+            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
+                column.push_back(streams[rt][c]);
+            out[c0 + c] = accum.accumulate(column);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+TileExecutor::forwardDecoded(const MappedLayer &layer,
+                             const std::vector<int> &activations,
+                             Rng &rng) const
+{
+    assert(activations.size() == layer.fanIn);
+    std::vector<double> out(layer.fanOut, 0.0);
+    const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
+                                       dropFraction);
+    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
+        std::vector<std::vector<sc::Bitstream>> streams;
+        streams.reserve(layer.rowTiles);
+        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
+            const std::size_t r0 = rt * layer.cs;
+            const std::size_t rows = std::min(layer.cs, layer.fanIn - r0);
+            std::vector<int> slice(activations.begin() + r0,
+                                   activations.begin() + r0 + rows);
+            streams.push_back(
+                layer.tile(rt, ct).observe(slice, window_, rng));
+        }
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::vector<sc::Bitstream> column;
+            column.reserve(layer.rowTiles);
+            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
+                column.push_back(streams[rt][c]);
+            out[c0 + c] = accum.decodedSum(column);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+TileExecutor::latentSums(const MappedLayer &layer,
+                         const std::vector<int> &activations) const
+{
+    assert(activations.size() == layer.fanIn);
+    std::vector<double> out(layer.fanOut, 0.0);
+    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
+            const std::size_t r0 = rt * layer.cs;
+            const std::size_t rows = std::min(layer.cs, layer.fanIn - r0);
+            std::vector<int> slice(activations.begin() + r0,
+                                   activations.begin() + r0 + rows);
+            for (std::size_t c = 0; c < cols; ++c)
+                out[c0 + c] += layer.tile(rt, ct).columnSum(c, slice);
+        }
+    }
+    for (std::size_t o = 0; o < layer.fanOut; ++o)
+        out[o] -= layer.thresholds[o];
+    return out;
+}
+
+std::vector<double>
+TileExecutor::singleTileProbabilities(
+    const MappedLayer &layer, const std::vector<int> &activations) const
+{
+    assert(layer.rowTiles == 1);
+    assert(activations.size() == layer.fanIn);
+    std::vector<double> out(layer.fanOut, 0.0);
+    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        const auto probs = layer.tile(0, ct).columnProbabilities(
+            activations);
+        for (std::size_t c = 0; c < cols; ++c)
+            out[c0 + c] = probs[c];
+    }
+    return out;
+}
+
+} // namespace superbnn::crossbar

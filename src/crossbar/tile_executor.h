@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Execution of a mapped BNN layer over its crossbar tiles with the
+ * SC-based accumulation module (paper Fig. 6b, Fig. 7).
+ *
+ * For each output column group, every row tile observes its column
+ * neurons for L cycles (producing stochastic-number bitstreams); the
+ * AccumulationModule APC-sums the per-cycle bits across row tiles and a
+ * comparator yields the binary activation driving the next layer.
+ */
+
+#ifndef SUPERBNN_CROSSBAR_TILE_EXECUTOR_H
+#define SUPERBNN_CROSSBAR_TILE_EXECUTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "crossbar/mapper.h"
+#include "sc/accumulation.h"
+
+namespace superbnn::crossbar {
+
+/** Executes MappedLayers on the simulated hardware. */
+class TileExecutor
+{
+  public:
+    /**
+     * @param window         SC observation window length L
+     * @param use_exact_apc  ablation: exact instead of approximate APC
+     * @param drop_fraction  APC approximation aggressiveness
+     */
+    explicit TileExecutor(std::size_t window, bool use_exact_apc = false,
+                          double drop_fraction = 0.25);
+
+    /**
+     * Full stochastic forward pass of one layer.
+     *
+     * @param layer        the mapped layer (with thresholds installed)
+     * @param activations  +/-1 inputs, length layer.fanIn
+     * @param rng          randomness source (device noise)
+     * @return +/-1 outputs, length layer.fanOut
+     */
+    std::vector<int> forward(const MappedLayer &layer,
+                             const std::vector<int> &activations,
+                             Rng &rng) const;
+
+    /**
+     * Multi-bit readout used for the classifier head: instead of the
+     * final comparator, the APC count register is read out directly and
+     * decoded to the accumulated bipolar value (minus the installed
+     * thresholds). Still fully stochastic — it runs on the same observed
+     * bitstreams.
+     */
+    std::vector<double> forwardDecoded(const MappedLayer &layer,
+                                       const std::vector<int> &activations,
+                                       Rng &rng) const;
+
+    /**
+     * Latent pre-binarization sums: sum_i a_i * w_ij - vth_j, the ideal
+     * (noise-free) value each output's comparison is centred on. Used by
+     * tests to verify the stochastic path converges to the ideal one.
+     */
+    std::vector<double>
+    latentSums(const MappedLayer &layer,
+               const std::vector<int> &activations) const;
+
+    /**
+     * Exact probability that each output fires +1 when the window is 1
+     * (single-shot mode): the product law of the per-tile neuron
+     * probabilities reduces to the accumulate threshold; computed by
+     * exhaustive expectation over tiles via normal approximation is not
+     * used — for window 1 and a single row tile it is the neuron
+     * probability itself, which tests exercise.
+     */
+    std::vector<double>
+    singleTileProbabilities(const MappedLayer &layer,
+                            const std::vector<int> &activations) const;
+
+    std::size_t window() const { return window_; }
+    bool usesExactApc() const { return useExact; }
+
+  private:
+    std::size_t window_;
+    bool useExact;
+    double dropFraction;
+};
+
+} // namespace superbnn::crossbar
+
+#endif // SUPERBNN_CROSSBAR_TILE_EXECUTOR_H

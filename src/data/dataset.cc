@@ -1,0 +1,79 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace superbnn::data {
+
+std::size_t
+Dataset::numClasses() const
+{
+    if (labels.empty())
+        return 0;
+    return *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+Tensor
+Dataset::sample(std::size_t index) const
+{
+    assert(index < size());
+    Shape s = samples.shape();
+    std::size_t stride = 1;
+    for (std::size_t d = 1; d < s.size(); ++d)
+        stride *= s[d];
+    Shape out_shape = s;
+    out_shape[0] = 1;
+    Tensor out(out_shape);
+    const float *src = samples.data() + index * stride;
+    std::copy(src, src + stride, out.data());
+    return out;
+}
+
+DataLoader::DataLoader(const Dataset &dataset, std::size_t batch_size)
+    : data(dataset), batchSize(batch_size), order(dataset.size())
+{
+    assert(batch_size >= 1);
+    std::iota(order.begin(), order.end(), 0);
+}
+
+void
+DataLoader::shuffle(Rng &rng)
+{
+    std::shuffle(order.begin(), order.end(), rng.raw());
+}
+
+std::size_t
+DataLoader::batchCount() const
+{
+    return (order.size() + batchSize - 1) / batchSize;
+}
+
+Batch
+DataLoader::batch(std::size_t index) const
+{
+    assert(index < batchCount());
+    const std::size_t start = index * batchSize;
+    const std::size_t count =
+        std::min(batchSize, order.size() - start);
+
+    Shape s = data.samples.shape();
+    std::size_t stride = 1;
+    for (std::size_t d = 1; d < s.size(); ++d)
+        stride *= s[d];
+    Shape b_shape = s;
+    b_shape[0] = count;
+
+    Batch b;
+    b.inputs = Tensor(b_shape);
+    b.labels.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src_idx = order[start + i];
+        const float *src = data.samples.data() + src_idx * stride;
+        std::copy(src, src + stride, b.inputs.data() + i * stride);
+        b.labels[i] = data.labels[src_idx];
+    }
+    return b;
+}
+
+} // namespace superbnn::data

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * In-memory labelled dataset and mini-batch loader.
+ */
+
+#ifndef SUPERBNN_DATA_DATASET_H
+#define SUPERBNN_DATA_DATASET_H
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace superbnn::data {
+
+/**
+ * A labelled dataset held as one tensor: (N, C, H, W) for images or
+ * (N, features) for flat vectors, plus per-sample class labels.
+ */
+struct Dataset
+{
+    Tensor samples;
+    std::vector<std::size_t> labels;
+
+    std::size_t size() const { return labels.size(); }
+    std::size_t numClasses() const;
+
+    /** Slice one sample preserving rank (batch dimension 1). */
+    Tensor sample(std::size_t index) const;
+};
+
+/** A (inputs, labels) mini-batch. */
+struct Batch
+{
+    Tensor inputs;
+    std::vector<std::size_t> labels;
+};
+
+/**
+ * Mini-batch iterator with optional shuffling.
+ */
+class DataLoader
+{
+  public:
+    DataLoader(const Dataset &dataset, std::size_t batch_size);
+
+    /** Re-shuffle the sample order. */
+    void shuffle(Rng &rng);
+
+    std::size_t batchCount() const;
+
+    /** Materialize batch @p index (the last batch may be smaller). */
+    Batch batch(std::size_t index) const;
+
+  private:
+    const Dataset &data;
+    std::size_t batchSize;
+    std::vector<std::size_t> order;
+};
+
+} // namespace superbnn::data
+
+#endif // SUPERBNN_DATA_DATASET_H

@@ -1,0 +1,121 @@
+#include "data/synthetic_cifar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::data {
+
+namespace {
+
+constexpr std::size_t kSide = 32;
+constexpr std::size_t kChannels = 3;
+
+struct Blob
+{
+    double cx, cy, sigma;
+    double color[3];
+};
+
+struct ClassPattern
+{
+    std::vector<Blob> blobs;
+    double texFreq;
+    double texAngle;
+    double texAmp;
+    double texColor[3];
+};
+
+ClassPattern
+makePattern(std::size_t cls, std::uint64_t seed)
+{
+    Rng rng(seed * 2862933555777941757ULL + cls * 3202034522624059733ULL
+            + 29);
+    ClassPattern p;
+    const int blobs = 2 + static_cast<int>(cls % 3);
+    for (int b = 0; b < blobs; ++b) {
+        Blob blob;
+        blob.cx = rng.uniform(6, 26);
+        blob.cy = rng.uniform(6, 26);
+        blob.sigma = rng.uniform(3.0, 7.0);
+        for (auto &c : blob.color)
+            c = rng.uniform(-1.0, 1.0);
+        p.blobs.push_back(blob);
+    }
+    p.texFreq = rng.uniform(0.2, 0.9);
+    p.texAngle = rng.uniform(0.0, M_PI);
+    p.texAmp = rng.uniform(0.15, 0.45);
+    for (auto &c : p.texColor)
+        c = rng.uniform(-1.0, 1.0);
+    return p;
+}
+
+/** Render the prototype value of one pixel/channel. */
+double
+renderPixel(const ClassPattern &p, double x, double y, std::size_t ch)
+{
+    double v = 0.0;
+    for (const auto &b : p.blobs) {
+        const double d2 = (x - b.cx) * (x - b.cx)
+            + (y - b.cy) * (y - b.cy);
+        v += b.color[ch] * std::exp(-d2 / (2.0 * b.sigma * b.sigma));
+    }
+    const double phase =
+        p.texFreq * (x * std::cos(p.texAngle) + y * std::sin(p.texAngle));
+    v += p.texAmp * p.texColor[ch] * std::sin(phase);
+    return v;
+}
+
+Dataset
+makeSplit(const SyntheticCifarOptions &opts,
+          const std::vector<ClassPattern> &patterns, std::size_t count,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.labels.resize(count);
+    ds.samples = Tensor({count, kChannels, kSide, kSide});
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t cls = i % opts.classes;
+        ds.labels[i] = cls;
+        const auto &p = patterns[cls];
+        const double dx = static_cast<double>(
+            rng.randint(-opts.maxShift, opts.maxShift));
+        const double dy = static_cast<double>(
+            rng.randint(-opts.maxShift, opts.maxShift));
+        for (std::size_t ch = 0; ch < kChannels; ++ch) {
+            float *dst = ds.samples.data()
+                + ((i * kChannels + ch) * kSide) * kSide;
+            for (std::size_t y = 0; y < kSide; ++y) {
+                for (std::size_t x = 0; x < kSide; ++x) {
+                    double v = renderPixel(
+                        p, static_cast<double>(x) - dx,
+                        static_cast<double>(y) - dy, ch);
+                    v += rng.normal(0.0, opts.pixelNoise);
+                    dst[y * kSide + x] = static_cast<float>(
+                        std::clamp(v, -1.0, 1.0));
+                }
+            }
+        }
+    }
+    return ds;
+}
+
+} // namespace
+
+SyntheticCifar
+makeSyntheticCifar(const SyntheticCifarOptions &opts)
+{
+    assert(opts.classes >= 2 && opts.classes <= 10);
+    std::vector<ClassPattern> patterns;
+    patterns.reserve(opts.classes);
+    for (std::size_t c = 0; c < opts.classes; ++c)
+        patterns.push_back(makePattern(c, opts.seed));
+
+    SyntheticCifar out;
+    out.train = makeSplit(opts, patterns, opts.trainSize, opts.seed + 1);
+    out.test = makeSplit(opts, patterns, opts.testSize, opts.seed + 2);
+    return out;
+}
+
+} // namespace superbnn::data

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic CIFAR-like dataset (substitution for the offline-unavailable
+ * CIFAR-10; see DESIGN.md Section 2).
+ *
+ * Ten classes of 32x32 RGB images. Each class prototype is a mixture of
+ * colored Gaussian blobs plus an oriented sinusoidal texture (class-
+ * seeded); samples add translation jitter and pixel noise, normalized to
+ * [-1, 1] per channel.
+ */
+
+#ifndef SUPERBNN_DATA_SYNTHETIC_CIFAR_H
+#define SUPERBNN_DATA_SYNTHETIC_CIFAR_H
+
+#include "data/dataset.h"
+
+namespace superbnn::data {
+
+/** Generation knobs for the synthetic CIFAR set. */
+struct SyntheticCifarOptions
+{
+    std::size_t trainSize = 1500;
+    std::size_t testSize = 400;
+    std::size_t classes = 10;
+    double pixelNoise = 0.2;
+    int maxShift = 2;
+    std::uint64_t seed = 1234;
+};
+
+/** Train/test split. */
+struct SyntheticCifar
+{
+    Dataset train;  ///< (N, 3, 32, 32)
+    Dataset test;
+};
+
+/** Generate deterministically from the seed. */
+SyntheticCifar makeSyntheticCifar(const SyntheticCifarOptions &opts = {});
+
+} // namespace superbnn::data
+
+#endif // SUPERBNN_DATA_SYNTHETIC_CIFAR_H

@@ -1,0 +1,116 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::data {
+
+namespace {
+
+constexpr std::size_t kSide = 28;
+
+/** Draw an anti-aliased line segment into a 28x28 canvas. */
+void
+drawStroke(std::vector<float> &canvas, double x0, double y0, double x1,
+           double y1, double thickness)
+{
+    const int steps = 48;
+    for (int s = 0; s <= steps; ++s) {
+        const double t = static_cast<double>(s) / steps;
+        const double cx = x0 + (x1 - x0) * t;
+        const double cy = y0 + (y1 - y0) * t;
+        const int lo_y = std::max(0, static_cast<int>(cy - thickness - 1));
+        const int hi_y =
+            std::min<int>(kSide - 1, static_cast<int>(cy + thickness + 1));
+        const int lo_x = std::max(0, static_cast<int>(cx - thickness - 1));
+        const int hi_x =
+            std::min<int>(kSide - 1, static_cast<int>(cx + thickness + 1));
+        for (int y = lo_y; y <= hi_y; ++y) {
+            for (int x = lo_x; x <= hi_x; ++x) {
+                const double d = std::hypot(x - cx, y - cy);
+                const double v = std::max(0.0, 1.0 - d / thickness);
+                float &px = canvas[y * kSide + x];
+                px = std::max(px, static_cast<float>(v));
+            }
+        }
+    }
+}
+
+/** Class prototype: a few class-seeded random strokes. */
+std::vector<float>
+makePrototype(std::size_t cls, std::uint64_t seed)
+{
+    Rng rng(seed * 1315423911ULL + cls * 2654435761ULL + 17);
+    std::vector<float> canvas(kSide * kSide, 0.0f);
+    const int strokes = 3 + static_cast<int>(cls % 3);
+    double px = rng.uniform(6, 22), py = rng.uniform(6, 22);
+    for (int s = 0; s < strokes; ++s) {
+        const double nx = rng.uniform(4, 24);
+        const double ny = rng.uniform(4, 24);
+        drawStroke(canvas, px, py, nx, ny, rng.uniform(1.2, 2.2));
+        px = nx;
+        py = ny;
+    }
+    return canvas;
+}
+
+Dataset
+makeSplit(const SyntheticMnistOptions &opts,
+          const std::vector<std::vector<float>> &prototypes,
+          std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.labels.resize(count);
+    const Shape shape = opts.flat
+        ? Shape{count, kSide * kSide}
+        : Shape{count, 1, kSide, kSide};
+    ds.samples = Tensor(shape);
+    const std::size_t stride = kSide * kSide;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t cls = i % opts.classes;
+        ds.labels[i] = cls;
+        const auto &proto = prototypes[cls];
+        const int dx = static_cast<int>(
+            rng.randint(-opts.maxShift, opts.maxShift));
+        const int dy = static_cast<int>(
+            rng.randint(-opts.maxShift, opts.maxShift));
+        float *dst = ds.samples.data() + i * stride;
+        for (std::size_t y = 0; y < kSide; ++y) {
+            for (std::size_t x = 0; x < kSide; ++x) {
+                const int sy = static_cast<int>(y) - dy;
+                const int sx = static_cast<int>(x) - dx;
+                float v = 0.0f;
+                if (sy >= 0 && sy < static_cast<int>(kSide) && sx >= 0
+                    && sx < static_cast<int>(kSide))
+                    v = proto[sy * kSide + sx];
+                v += static_cast<float>(rng.normal(0.0, opts.pixelNoise));
+                // Map [0,1] intensity to [-1,1] with clamping.
+                dst[y * kSide + x] =
+                    std::clamp(2.0f * v - 1.0f, -1.0f, 1.0f);
+            }
+        }
+    }
+    return ds;
+}
+
+} // namespace
+
+SyntheticMnist
+makeSyntheticMnist(const SyntheticMnistOptions &opts)
+{
+    assert(opts.classes >= 2 && opts.classes <= 10);
+    std::vector<std::vector<float>> prototypes;
+    prototypes.reserve(opts.classes);
+    for (std::size_t c = 0; c < opts.classes; ++c)
+        prototypes.push_back(makePrototype(c, opts.seed));
+
+    SyntheticMnist out;
+    out.train = makeSplit(opts, prototypes, opts.trainSize, opts.seed + 1);
+    out.test = makeSplit(opts, prototypes, opts.testSize, opts.seed + 2);
+    return out;
+}
+
+} // namespace superbnn::data

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic MNIST-like dataset (substitution for the offline-unavailable
+ * MNIST; see DESIGN.md Section 2).
+ *
+ * Ten classes of 28x28 grayscale images. Each class has a procedurally
+ * generated stroke prototype (class-seeded random polylines); samples are
+ * the prototype under random translation plus pixel noise, normalized to
+ * [-1, 1]. The experiments using this set measure relative accuracy
+ * versus hardware configuration, which depends on the binarization and
+ * noise pipeline rather than on natural-image statistics.
+ */
+
+#ifndef SUPERBNN_DATA_SYNTHETIC_MNIST_H
+#define SUPERBNN_DATA_SYNTHETIC_MNIST_H
+
+#include "data/dataset.h"
+
+namespace superbnn::data {
+
+/** Generation knobs for the synthetic MNIST set. */
+struct SyntheticMnistOptions
+{
+    std::size_t trainSize = 2000;
+    std::size_t testSize = 500;
+    std::size_t classes = 10;
+    double pixelNoise = 0.25;   ///< additive Gaussian noise stddev
+    int maxShift = 2;           ///< translation jitter in pixels
+    std::uint64_t seed = 42;
+    bool flat = true;           ///< emit (N, 784) instead of (N,1,28,28)
+};
+
+/** Train/test split of the synthetic set. */
+struct SyntheticMnist
+{
+    Dataset train;
+    Dataset test;
+};
+
+/** Generate the dataset deterministically from the options' seed. */
+SyntheticMnist makeSyntheticMnist(const SyntheticMnistOptions &opts = {});
+
+} // namespace superbnn::data
+
+#endif // SUPERBNN_DATA_SYNTHETIC_MNIST_H

@@ -1,0 +1,75 @@
+#include "nn/activation.h"
+
+namespace superbnn::nn {
+
+Tensor
+HardTanh::forward(const Tensor &input, bool training)
+{
+    if (training)
+        cachedInput = input;
+    Tensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const float x = input[i];
+        out[i] = x > 1.0f ? 1.0f : (x < -1.0f ? -1.0f : x);
+    }
+    return out;
+}
+
+Tensor
+HardTanh::backward(const Tensor &grad_output)
+{
+    assert(!cachedInput.empty());
+    assert(grad_output.shape() == cachedInput.shape());
+    Tensor dx(grad_output.shape());
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        const float x = cachedInput[i];
+        dx[i] = (x >= -1.0f && x <= 1.0f) ? grad_output[i] : 0.0f;
+    }
+    return dx;
+}
+
+Tensor
+ReLU::forward(const Tensor &input, bool training)
+{
+    if (training)
+        cachedInput = input;
+    Tensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+    return out;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_output)
+{
+    assert(!cachedInput.empty());
+    Tensor dx(grad_output.shape());
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        dx[i] = cachedInput[i] > 0.0f ? grad_output[i] : 0.0f;
+    return dx;
+}
+
+Tensor
+SignSTE::forward(const Tensor &input, bool training)
+{
+    if (training)
+        cachedInput = input;
+    Tensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        out[i] = input[i] >= 0.0f ? 1.0f : -1.0f;
+    return out;
+}
+
+Tensor
+SignSTE::backward(const Tensor &grad_output)
+{
+    assert(!cachedInput.empty());
+    Tensor dx(grad_output.shape());
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        const float x = cachedInput[i];
+        dx[i] = (x >= -1.0f && x <= 1.0f) ? grad_output[i] : 0.0f;
+    }
+    return dx;
+}
+
+} // namespace superbnn::nn

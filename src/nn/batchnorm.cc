@@ -1,0 +1,145 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace superbnn::nn {
+
+namespace {
+
+/**
+ * Iterate the elements of channel c for (N,C) or (N,C,H,W) tensors,
+ * calling fn(flat_index).
+ */
+template <typename Fn>
+void
+forEachInChannel(const Shape &shape, std::size_t c, Fn &&fn)
+{
+    if (shape.size() == 2) {
+        const std::size_t n = shape[0], ch = shape[1];
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i * ch + c);
+    } else {
+        const std::size_t n = shape[0], ch = shape[1];
+        const std::size_t plane = shape[2] * shape[3];
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t base = (i * ch + c) * plane;
+            for (std::size_t p = 0; p < plane; ++p)
+                fn(base + p);
+        }
+    }
+}
+
+} // namespace
+
+BatchNorm::BatchNorm(std::size_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_(Tensor({channels}, 1.0f)), beta_(Tensor({channels})),
+      runningMean_({channels}), runningVar_({channels}, 1.0f)
+{
+}
+
+std::size_t
+BatchNorm::groupSize(const Shape &shape) const
+{
+    if (shape.size() == 2)
+        return shape[0];
+    return shape[0] * shape[2] * shape[3];
+}
+
+Tensor
+BatchNorm::forward(const Tensor &input, bool training)
+{
+    assert(input.rank() == 2 || input.rank() == 4);
+    assert(input.dim(1) == channels_);
+    const std::size_t m = groupSize(input.shape());
+    Tensor out(input.shape());
+    Tensor norm(input.shape());
+    Tensor inv_std({channels_});
+    Tensor means({channels_});
+
+    for (std::size_t c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (training) {
+            double acc = 0.0;
+            forEachInChannel(input.shape(), c,
+                             [&](std::size_t i) { acc += input[i]; });
+            mean = acc / static_cast<double>(m);
+            double vacc = 0.0;
+            forEachInChannel(input.shape(), c, [&](std::size_t i) {
+                const double d = input[i] - mean;
+                vacc += d * d;
+            });
+            var = vacc / static_cast<double>(m);
+            runningMean_[c] = (1.0f - momentum_) * runningMean_[c]
+                + momentum_ * static_cast<float>(mean);
+            runningVar_[c] = (1.0f - momentum_) * runningVar_[c]
+                + momentum_ * static_cast<float>(var);
+        } else {
+            mean = runningMean_[c];
+            var = runningVar_[c];
+        }
+        const float istd =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        inv_std[c] = istd;
+        means[c] = static_cast<float>(mean);
+        const float g = gamma_.value[c], b = beta_.value[c];
+        forEachInChannel(input.shape(), c, [&](std::size_t i) {
+            const float xh = (input[i] - static_cast<float>(mean)) * istd;
+            norm[i] = xh;
+            out[i] = g * xh + b;
+        });
+    }
+
+    if (training) {
+        cachedNorm = std::move(norm);
+        cachedInvStd = std::move(inv_std);
+        cachedMean = std::move(means);
+        cachedShape = input.shape();
+        hasBatchStats_ = true;
+    }
+    return out;
+}
+
+Tensor
+BatchNorm::backward(const Tensor &grad_output)
+{
+    assert(!cachedNorm.empty());
+    assert(grad_output.shape() == cachedShape);
+    const std::size_t m = groupSize(cachedShape);
+    Tensor dx(cachedShape);
+
+    for (std::size_t c = 0; c < channels_; ++c) {
+        double dg = 0.0, db = 0.0, dxh_dot_xh = 0.0, dxh_sum = 0.0;
+        forEachInChannel(cachedShape, c, [&](std::size_t i) {
+            dg += grad_output[i] * cachedNorm[i];
+            db += grad_output[i];
+        });
+        gamma_.grad[c] += static_cast<float>(dg);
+        beta_.grad[c] += static_cast<float>(db);
+
+        const float g = gamma_.value[c];
+        // dxh = dY * gamma; reuse the standard BN backward identity.
+        forEachInChannel(cachedShape, c, [&](std::size_t i) {
+            const double dxh = grad_output[i] * g;
+            dxh_sum += dxh;
+            dxh_dot_xh += dxh * cachedNorm[i];
+        });
+        const double inv_m = 1.0 / static_cast<double>(m);
+        const float istd = cachedInvStd[c];
+        forEachInChannel(cachedShape, c, [&](std::size_t i) {
+            const double dxh = grad_output[i] * g;
+            dx[i] = static_cast<float>(
+                istd * (dxh - dxh_sum * inv_m
+                        - cachedNorm[i] * dxh_dot_xh * inv_m));
+        });
+    }
+    return dx;
+}
+
+std::vector<Parameter *>
+BatchNorm::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+} // namespace superbnn::nn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Batch normalization (paper Section 5.2, Eq. 11).
+ *
+ * Training uses mini-batch statistics; inference uses running averages.
+ * In SupeRBNN the inference-time affine transform is folded into the AQFP
+ * buffer threshold (BN matching, Eq. 16) — the folding code reads gamma,
+ * beta and the running statistics through the accessors here.
+ */
+
+#ifndef SUPERBNN_NN_BATCHNORM_H
+#define SUPERBNN_NN_BATCHNORM_H
+
+#include "nn/module.h"
+
+namespace superbnn::nn {
+
+/**
+ * Batch normalization over the channel axis.
+ *
+ * Supports 2-D inputs (N, C) — per-feature normalization — and 4-D inputs
+ * (N, C, H, W) — per-channel normalization over N*H*W.
+ */
+class BatchNorm : public Module
+{
+  public:
+    /**
+     * @param channels  number of normalized features/channels
+     * @param momentum  running-average update rate
+     * @param eps       variance stabilizer
+     */
+    explicit BatchNorm(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+    Tensor forward(const Tensor &input, bool training) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return "BatchNorm"; }
+
+    Parameter &gamma() { return gamma_; }
+    Parameter &beta() { return beta_; }
+    const Parameter &gamma() const { return gamma_; }
+    const Parameter &beta() const { return beta_; }
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+
+    /** Overwrite the inference statistics (testing / model import). */
+    void
+    setRunningStats(const Tensor &mean, const Tensor &var)
+    {
+        assert(mean.size() == channels_ && var.size() == channels_);
+        runningMean_ = mean;
+        runningVar_ = var;
+    }
+
+    /** True after a training-mode forward (batch stats available). */
+    bool hasBatchStats() const { return hasBatchStats_; }
+    /** Mean of the latest training batch (valid if hasBatchStats). */
+    const Tensor &batchMean() const { return cachedMean; }
+    /** 1/sqrt(var+eps) of the latest training batch. */
+    const Tensor &batchInvStd() const { return cachedInvStd; }
+    float eps() const { return eps_; }
+    std::size_t channels() const { return channels_; }
+
+  private:
+    std::size_t channels_;
+    float momentum_;
+    float eps_;
+    Parameter gamma_;
+    Parameter beta_;
+    Tensor runningMean_;
+    Tensor runningVar_;
+
+    // Backward caches.
+    Tensor cachedNorm;     ///< normalized input x_hat
+    Tensor cachedInvStd;   ///< per-channel 1/sqrt(var+eps)
+    Tensor cachedMean;     ///< per-channel batch mean
+    Shape cachedShape;
+    bool hasBatchStats_ = false;
+
+    /** Per-channel element count for the cached shape. */
+    std::size_t groupSize(const Shape &shape) const;
+};
+
+} // namespace superbnn::nn
+
+#endif // SUPERBNN_NN_BATCHNORM_H

@@ -1,0 +1,176 @@
+#include "nn/binary_conv.h"
+
+#include <cmath>
+
+namespace superbnn::nn {
+
+namespace {
+
+Tensor
+signOf(const Tensor &w)
+{
+    Tensor out(w.shape());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        out[i] = w[i] >= 0.0f ? 1.0f : -1.0f;
+    return out;
+}
+
+} // namespace
+
+BinaryConv2d::BinaryConv2d(std::size_t in_channels,
+                           std::size_t out_channels, std::size_t kernel,
+                           std::size_t stride, std::size_t padding,
+                           Rng &rng, std::size_t tile_size)
+    : inC(in_channels), outC(out_channels), spec_{kernel, stride, padding},
+      tileSize(tile_size),
+      weight_(Tensor::kaiming({out_channels, in_channels, kernel, kernel},
+                              rng, in_channels * kernel * kernel)),
+      alpha_(Tensor({out_channels}))
+{
+    const std::size_t patch = inC * kernel * kernel;
+    for (std::size_t o = 0; o < outC; ++o) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < patch; ++i)
+            acc += std::fabs(weight_.value[o * patch + i]);
+        alpha_.value[o] =
+            static_cast<float>(acc / static_cast<double>(patch));
+    }
+}
+
+Tensor
+BinaryConv2d::signedWeightMatrix() const
+{
+    const std::size_t patch = inC * spec_.kernel * spec_.kernel;
+    return signOf(weight_.value.reshaped({outC, patch}));
+}
+
+Tensor
+BinaryConv2d::forward(const Tensor &input, bool training)
+{
+    assert(input.rank() == 4 && input.dim(1) == inC);
+    const std::size_t n = input.dim(0);
+    const std::size_t oh = spec_.outExtent(input.dim(2));
+    const std::size_t ow = spec_.outExtent(input.dim(3));
+    const std::size_t patch = inC * spec_.kernel * spec_.kernel;
+
+    Tensor cols = im2col(input, spec_);
+    Tensor wb = signOf(weight_.value.reshaped({outC, patch}));
+    Tensor s = matmul(wb, cols); // (O, N*oh*ow)
+
+    if (tileSize > 0) {
+        // Per-row-tile partial sums over the flattened patch, recorded
+        // for tile-aware binarization in every mode.
+        const std::size_t tiles = tileCount();
+        const std::size_t m = cols.dim(1);
+        cachedPartials = Tensor({tiles, outC, m});
+        for (std::size_t t = 0; t < tiles; ++t) {
+            const std::size_t lo = t * tileSize;
+            const std::size_t hi = std::min(lo + tileSize, patch);
+            for (std::size_t o = 0; o < outC; ++o) {
+                const float *w = wb.data() + o * patch;
+                float *dst =
+                    cachedPartials.data() + (t * outC + o) * m;
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const float wk = w[k];
+                    const float *crow = cols.data() + k * m;
+                    for (std::size_t p = 0; p < m; ++p)
+                        dst[p] += wk * crow[p];
+                }
+            }
+        }
+    }
+
+    Tensor out({n, outC, oh, ow});
+    const std::size_t plane = oh * ow;
+    for (std::size_t oi = 0; oi < outC; ++oi) {
+        const float a = alpha_.value[oi];
+        for (std::size_t ni = 0; ni < n; ++ni) {
+            const float *src = s.data() + oi * (n * plane) + ni * plane;
+            float *dst = out.data() + (ni * outC + oi) * plane;
+            for (std::size_t p = 0; p < plane; ++p)
+                dst[p] = src[p] * a;
+        }
+    }
+    if (training) {
+        cachedCols = std::move(cols);
+        cachedBinWeight = std::move(wb);
+        cachedPreScale = std::move(s);
+        cachedInputShape = input.shape();
+    }
+    return out;
+}
+
+Tensor
+BinaryConv2d::backward(const Tensor &grad_output)
+{
+    assert(!cachedCols.empty());
+    const std::size_t n = grad_output.dim(0);
+    const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+    const std::size_t plane = oh * ow;
+    const std::size_t patch = inC * spec_.kernel * spec_.kernel;
+
+    // dY rearranged to (O, N*oh*ow) and alpha/prescale gradients.
+    Tensor ds({outC, n * plane});
+    for (std::size_t ni = 0; ni < n; ++ni) {
+        for (std::size_t oi = 0; oi < outC; ++oi) {
+            const float *src =
+                grad_output.data() + (ni * outC + oi) * plane;
+            float *dst = ds.data() + oi * (n * plane) + ni * plane;
+            const float *pre =
+                cachedPreScale.data() + oi * (n * plane) + ni * plane;
+            const float a = alpha_.value[oi];
+            double da = 0.0;
+            for (std::size_t p = 0; p < plane; ++p) {
+                da += static_cast<double>(src[p]) * pre[p];
+                dst[p] = src[p] * a;
+            }
+            // Fan-in normalized, as in BinaryLinear: keeps the scale
+            // parameter trainable with plain SGD on wide layers.
+            alpha_.grad[oi] += static_cast<float>(
+                da / static_cast<double>(patch));
+        }
+    }
+
+    // STE through sign with clipping.
+    Tensor dwb = matmulTransposedB(ds, cachedCols); // (O, patch)
+    for (std::size_t i = 0; i < outC * patch; ++i) {
+        const float wr = weight_.value[i];
+        if (wr >= -1.0f && wr <= 1.0f)
+            weight_.grad[i] += dwb[i];
+    }
+
+    const Tensor wb = cachedBinWeight; // (O, patch)
+    Tensor dcols = matmulTransposedA(wb, ds); // (patch, N*oh*ow)
+    return col2im(dcols, cachedInputShape, spec_);
+}
+
+std::size_t
+BinaryConv2d::tileCount() const
+{
+    if (tileSize == 0)
+        return 1;
+    const std::size_t patch = inC * spec_.kernel * spec_.kernel;
+    return (patch + tileSize - 1) / tileSize;
+}
+
+float
+BinaryConv2d::tilePartial(std::size_t tile, const Shape &act_shape,
+                          std::size_t flat) const
+{
+    assert(tileSize > 0 && !cachedPartials.empty());
+    assert(act_shape.size() == 4 && act_shape[1] == outC);
+    const std::size_t plane = act_shape[2] * act_shape[3];
+    const std::size_t m = cachedPartials.dim(2);
+    const std::size_t pos = flat % plane;
+    const std::size_t o = (flat / plane) % outC;
+    const std::size_t n_idx = flat / (plane * outC);
+    return cachedPartials[(tile * outC + o) * m + n_idx * plane + pos];
+}
+
+std::vector<Parameter *>
+BinaryConv2d::parameters()
+{
+    return {&weight_, &alpha_};
+}
+
+} // namespace superbnn::nn

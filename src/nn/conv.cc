@@ -1,0 +1,81 @@
+#include "nn/conv.h"
+
+namespace superbnn::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng &rng, bool bias)
+    : inC(in_channels), outC(out_channels),
+      spec_{kernel, stride, padding}, useBias(bias),
+      weight_(Tensor::kaiming({out_channels, in_channels, kernel, kernel},
+                              rng, in_channels * kernel * kernel)),
+      bias_(Tensor({out_channels}))
+{
+}
+
+Tensor
+Conv2d::forward(const Tensor &input, bool training)
+{
+    assert(input.rank() == 4 && input.dim(1) == inC);
+    if (training) {
+        cachedCols = im2col(input, spec_);
+        cachedInputShape = input.shape();
+    }
+    return conv2d(input, weight_.value, useBias ? bias_.value : Tensor(),
+                  spec_);
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_output)
+{
+    assert(grad_output.rank() == 4 && grad_output.dim(1) == outC);
+    assert(!cachedCols.empty());
+    const std::size_t n = grad_output.dim(0);
+    const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+    const std::size_t plane = oh * ow;
+    const std::size_t patch = inC * spec_.kernel * spec_.kernel;
+
+    // Rearrange dY from (N, O, oh, ow) to (O, N*oh*ow), the layout of the
+    // forward matmul product.
+    Tensor dy_mat({outC, n * plane});
+    for (std::size_t ni = 0; ni < n; ++ni)
+        for (std::size_t oi = 0; oi < outC; ++oi) {
+            const float *src =
+                grad_output.data() + (ni * outC + oi) * plane;
+            float *dst = dy_mat.data() + oi * (n * plane) + ni * plane;
+            for (std::size_t p = 0; p < plane; ++p)
+                dst[p] = src[p];
+        }
+
+    // dW = dY_mat * cols^T, reshaped to OIHW.
+    Tensor dw = matmulTransposedB(dy_mat, cachedCols); // (O, patch)
+    float *wg = weight_.grad.data();
+    const float *dwp = dw.data();
+    for (std::size_t i = 0; i < outC * patch; ++i)
+        wg[i] += dwp[i];
+
+    if (useBias) {
+        for (std::size_t oi = 0; oi < outC; ++oi) {
+            double acc = 0.0;
+            const float *row = dy_mat.data() + oi * (n * plane);
+            for (std::size_t p = 0; p < n * plane; ++p)
+                acc += row[p];
+            bias_.grad[oi] += static_cast<float>(acc);
+        }
+    }
+
+    // dX = col2im(W^T * dY_mat).
+    const Tensor wmat = weight_.value.reshaped({outC, patch});
+    Tensor dcols = matmulTransposedA(wmat, dy_mat); // (patch, N*oh*ow)
+    return col2im(dcols, cachedInputShape, spec_);
+}
+
+std::vector<Parameter *>
+Conv2d::parameters()
+{
+    if (useBias)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+} // namespace superbnn::nn

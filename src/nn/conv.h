@@ -1,0 +1,45 @@
+/**
+ * @file
+ * 2-D convolution layer (float precision), im2col based.
+ */
+
+#ifndef SUPERBNN_NN_CONV_H
+#define SUPERBNN_NN_CONV_H
+
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace superbnn::nn {
+
+/** Standard convolution with OIHW weights. */
+class Conv2d : public Module
+{
+  public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, std::size_t stride, std::size_t padding,
+           Rng &rng, bool bias = true);
+
+    Tensor forward(const Tensor &input, bool training) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return "Conv2d"; }
+
+    Parameter &weight() { return weight_; }
+    Parameter &bias() { return bias_; }
+    const Conv2dSpec &spec() const { return spec_; }
+    std::size_t inChannels() const { return inC; }
+    std::size_t outChannels() const { return outC; }
+
+  private:
+    std::size_t inC, outC;
+    Conv2dSpec spec_;
+    bool useBias;
+    Parameter weight_;  // (O, C, k, k)
+    Parameter bias_;    // (O)
+    Tensor cachedCols;  // im2col of the forward input
+    Shape cachedInputShape;
+};
+
+} // namespace superbnn::nn
+
+#endif // SUPERBNN_NN_CONV_H

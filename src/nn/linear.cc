@@ -1,0 +1,56 @@
+#include "nn/linear.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace superbnn::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng &rng,
+               bool bias)
+    : inF(in_features), outF(out_features), useBias(bias),
+      weight_(Tensor::kaiming({out_features, in_features}, rng,
+                              in_features)),
+      bias_(Tensor({out_features}))
+{
+}
+
+Tensor
+Linear::forward(const Tensor &input, bool training)
+{
+    assert(input.rank() == 2 && input.dim(1) == inF);
+    if (training)
+        cachedInput = input;
+    Tensor out = matmulTransposedB(input, weight_.value); // (N, out)
+    if (useBias) {
+        const std::size_t n = out.dim(0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < outF; ++j)
+                out.at(i, j) += bias_.value[j];
+    }
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_output)
+{
+    assert(grad_output.rank() == 2 && grad_output.dim(1) == outF);
+    assert(!cachedInput.empty());
+    // dW = dY^T X ; dX = dY W ; db = column sums of dY.
+    weight_.grad += matmulTransposedA(grad_output, cachedInput);
+    if (useBias) {
+        const std::size_t n = grad_output.dim(0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < outF; ++j)
+                bias_.grad[j] += grad_output.at(i, j);
+    }
+    return matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter *>
+Linear::parameters()
+{
+    if (useBias)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+} // namespace superbnn::nn

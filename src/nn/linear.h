@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fully connected layer (float precision).
+ */
+
+#ifndef SUPERBNN_NN_LINEAR_H
+#define SUPERBNN_NN_LINEAR_H
+
+#include "nn/module.h"
+
+namespace superbnn::nn {
+
+/** y = x W^T + b with W of shape (out, in). */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in_features   input width
+     * @param out_features  output width
+     * @param rng           weight init source (Kaiming fan-in)
+     * @param bias          include a bias vector
+     */
+    Linear(std::size_t in_features, std::size_t out_features, Rng &rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor &input, bool training) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return "Linear"; }
+
+    Parameter &weight() { return weight_; }
+    Parameter &bias() { return bias_; }
+    bool hasBias() const { return useBias; }
+    std::size_t inFeatures() const { return inF; }
+    std::size_t outFeatures() const { return outF; }
+
+  private:
+    std::size_t inF, outF;
+    bool useBias;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cachedInput;
+};
+
+} // namespace superbnn::nn
+
+#endif // SUPERBNN_NN_LINEAR_H

@@ -1,0 +1,67 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace superbnn::nn {
+
+double
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             const std::vector<std::size_t> &labels)
+{
+    assert(logits.rank() == 2);
+    assert(labels.size() == logits.dim(0));
+    cachedProbs = softmaxRows(logits);
+    cachedLabels = labels;
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        assert(labels[i] < c);
+        const float p = cachedProbs[i * c + labels[i]];
+        loss -= std::log(std::max(p, 1e-12f));
+    }
+    return loss / static_cast<double>(n);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    assert(!cachedProbs.empty());
+    const std::size_t n = cachedProbs.dim(0);
+    const std::size_t c = cachedProbs.dim(1);
+    Tensor grad = cachedProbs;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        grad[i * c + cachedLabels[i]] -= 1.0f;
+        for (std::size_t j = 0; j < c; ++j)
+            grad[i * c + j] *= inv_n;
+    }
+    return grad;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<std::size_t> &labels)
+{
+    assert(logits.rank() == 2 && labels.size() == logits.dim(0));
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        float best_v = logits[i * c];
+        for (std::size_t j = 1; j < c; ++j) {
+            if (logits[i * c + j] > best_v) {
+                best_v = logits[i * c + j];
+                best = j;
+            }
+        }
+        if (best == labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+} // namespace superbnn::nn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and classification accuracy helpers.
+ */
+
+#ifndef SUPERBNN_NN_LOSS_H
+#define SUPERBNN_NN_LOSS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace superbnn::nn {
+
+/**
+ * Softmax + cross entropy over a batch of logits.
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /**
+     * @param logits  (N, classes)
+     * @param labels  length-N class indices
+     * @return mean negative log likelihood
+     */
+    double forward(const Tensor &logits,
+                   const std::vector<std::size_t> &labels);
+
+    /** Gradient of the mean loss with respect to the logits. */
+    Tensor backward() const;
+
+  private:
+    Tensor cachedProbs;
+    std::vector<std::size_t> cachedLabels;
+};
+
+/** Fraction of rows whose argmax equals the label. */
+double accuracy(const Tensor &logits,
+                const std::vector<std::size_t> &labels);
+
+} // namespace superbnn::nn
+
+#endif // SUPERBNN_NN_LOSS_H

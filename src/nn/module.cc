@@ -1,0 +1,8 @@
+#include "nn/module.h"
+
+// Module is an interface; its out-of-line pieces live here so the vtable
+// has a home translation unit.
+
+namespace superbnn::nn {
+
+} // namespace superbnn::nn

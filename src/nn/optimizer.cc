@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weightDecay(weight_decay)
+{
+    assert(lr > 0.0);
+    assert(momentum >= 0.0 && momentum < 1.0);
+    assert(weight_decay >= 0.0);
+}
+
+void
+Sgd::step(const std::vector<Parameter *> &params)
+{
+    for (Parameter *p : params) {
+        auto it = velocity.find(p);
+        if (it == velocity.end())
+            it = velocity.emplace(p, Tensor(p->value.shape())).first;
+        Tensor &v = it->second;
+        assert(v.shape() == p->value.shape());
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            float g = p->grad[i]
+                + static_cast<float>(weightDecay) * p->value[i];
+            v[i] = static_cast<float>(momentum_) * v[i] + g;
+            p->value[i] -= static_cast<float>(lr_) * v[i];
+        }
+    }
+}
+
+void
+Sgd::zeroGrad(const std::vector<Parameter *> &params)
+{
+    for (Parameter *p : params)
+        p->zeroGrad();
+}
+
+CosineWarmupSchedule::CosineWarmupSchedule(double base_lr,
+                                           std::size_t warmup_epochs,
+                                           std::size_t total_epochs)
+    : baseLr_(base_lr), warmup(warmup_epochs), total(total_epochs)
+{
+    assert(base_lr > 0.0);
+    assert(total_epochs >= 1);
+}
+
+double
+CosineWarmupSchedule::lrAt(std::size_t epoch) const
+{
+    if (warmup > 0 && epoch < warmup) {
+        return baseLr_ * static_cast<double>(epoch + 1)
+            / static_cast<double>(warmup);
+    }
+    if (epoch >= total)
+        return 0.0;
+    const double progress = static_cast<double>(epoch - warmup)
+        / static_cast<double>(std::max<std::size_t>(total - warmup, 1));
+    return 0.5 * baseLr_ * (1.0 + std::cos(M_PI * progress));
+}
+
+} // namespace superbnn::nn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SGD optimizer with momentum and the warmup + cosine-annealing learning
+ * rate schedule the paper's training recipe uses (Section 6.1).
+ */
+
+#ifndef SUPERBNN_NN_OPTIMIZER_H
+#define SUPERBNN_NN_OPTIMIZER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace superbnn::nn {
+
+/** Stochastic gradient descent with momentum and weight decay. */
+class Sgd
+{
+  public:
+    /**
+     * @param lr            learning rate (mutable via setLr)
+     * @param momentum      classical momentum coefficient
+     * @param weight_decay  L2 regularization strength
+     */
+    explicit Sgd(double lr, double momentum = 0.9,
+                 double weight_decay = 0.0);
+
+    /** Apply one update to every parameter. */
+    void step(const std::vector<Parameter *> &params);
+
+    /** Clear gradients of every parameter. */
+    static void zeroGrad(const std::vector<Parameter *> &params);
+
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    double lr_;
+    double momentum_;
+    double weightDecay;
+    std::unordered_map<Parameter *, Tensor> velocity;
+};
+
+/**
+ * Learning-rate schedule: linear warmup for the first `warmup` epochs,
+ * then cosine annealing to zero at `total` epochs (the paper trains with
+ * 5 warmup epochs and cosine decay).
+ */
+class CosineWarmupSchedule
+{
+  public:
+    CosineWarmupSchedule(double base_lr, std::size_t warmup_epochs,
+                         std::size_t total_epochs);
+
+    /** Learning rate for a 0-based epoch index. */
+    double lrAt(std::size_t epoch) const;
+
+    double baseLr() const { return baseLr_; }
+    std::size_t totalEpochs() const { return total; }
+
+  private:
+    double baseLr_;
+    std::size_t warmup;
+    std::size_t total;
+};
+
+} // namespace superbnn::nn
+
+#endif // SUPERBNN_NN_OPTIMIZER_H

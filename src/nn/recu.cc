@@ -1,0 +1,53 @@
+#include "nn/recu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace superbnn::nn {
+
+float
+quantile(const Tensor &values, double q)
+{
+    assert(!values.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<float> sorted(values.data(),
+                              values.data() + values.size());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<float>((1.0 - frac) * sorted[lo]
+                              + frac * sorted[hi]);
+}
+
+std::pair<float, float>
+applyReCU(Tensor &weights, double tau)
+{
+    assert(tau >= 0.5 && tau <= 1.0);
+    const float high = quantile(weights, tau);
+    const float low = quantile(weights, 1.0 - tau);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        weights[i] = std::max(std::min(weights[i], high), low);
+    return {low, high};
+}
+
+ReCUSchedule::ReCUSchedule(double tau_start, double tau_end)
+    : tauStart(tau_start), tauEnd(tau_end)
+{
+    assert(tau_start >= 0.5 && tau_start <= tau_end && tau_end <= 1.0);
+}
+
+double
+ReCUSchedule::tauAt(std::size_t epoch, std::size_t total) const
+{
+    if (total <= 1)
+        return tauEnd;
+    const double progress = static_cast<double>(epoch)
+        / static_cast<double>(total - 1);
+    return tauStart + (tauEnd - tauStart) * std::min(progress, 1.0);
+}
+
+} // namespace superbnn::nn

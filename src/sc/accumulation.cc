@@ -1,0 +1,83 @@
+#include "sc/accumulation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace superbnn::sc {
+
+AccumulationModule::AccumulationModule(std::size_t crossbars,
+                                       std::size_t window,
+                                       bool use_exact_apc,
+                                       double drop_fraction)
+    : crossbars_(crossbars), window_(window), useExact(use_exact_apc),
+      exact(crossbars), approx(crossbars, drop_fraction)
+{
+    assert(crossbars >= 1 && window >= 1);
+}
+
+std::size_t
+AccumulationModule::rawCount(const std::vector<Bitstream> &streams) const
+{
+    assert(streams.size() == crossbars_);
+    std::size_t total = 0;
+    std::vector<std::uint8_t> slice(crossbars_);
+    for (std::size_t l = 0; l < window_; ++l) {
+        for (std::size_t t = 0; t < crossbars_; ++t) {
+            assert(streams[t].length() == window_);
+            slice[t] = streams[t].bit(l);
+        }
+        total += useExact ? exact.count(slice) : approx.count(slice);
+    }
+    return total;
+}
+
+double
+AccumulationModule::apcBiasPerCycle() const
+{
+    // The approximate APC undercounts by one for every dropped pair
+    // that reads (1,1); around the decision point the inputs are
+    // balanced (p ~ 0.5), so the expected undercount per cycle is
+    // droppedPairs / 4. The comparator reference is calibrated for this
+    // systematic bias (a one-time design constant, not data dependent).
+    if (useExact)
+        return 0.0;
+    return static_cast<double>(approx.droppedPairs()) / 4.0;
+}
+
+int
+AccumulationModule::accumulate(const std::vector<Bitstream> &streams,
+                               double reference_offset) const
+{
+    const double count = static_cast<double>(rawCount(streams));
+    const double ref = static_cast<double>(crossbars_ * window_) / 2.0
+        - apcBiasPerCycle() * static_cast<double>(window_)
+        + reference_offset;
+    return count >= ref ? +1 : -1;
+}
+
+double
+AccumulationModule::decodedSum(const std::vector<Bitstream> &streams) const
+{
+    const double count = static_cast<double>(rawCount(streams))
+        + apcBiasPerCycle() * static_cast<double>(window_);
+    const double tl = static_cast<double>(crossbars_ * window_);
+    // Bipolar decode of the aggregate: each bit contributes +/-1 scaled to
+    // the per-crossbar value range, so the sum spans [-T, +T].
+    return (2.0 * count - tl) / static_cast<double>(window_);
+}
+
+aqfp::NetlistSummary
+AccumulationModule::netlist() const
+{
+    aqfp::NetlistSummary net =
+        useExact ? exact.netlist() : approx.netlist();
+    // Accumulator register over the window plus the final comparator.
+    const std::size_t count_bits = static_cast<std::size_t>(std::ceil(
+        std::log2(static_cast<double>(crossbars_ * window_) + 1.0)));
+    net.add(aqfp::CellType::Buffer, count_bits);
+    net.add(aqfp::CellType::Majority, 2 * count_bits);
+    net.add(aqfp::CellType::ReadOut, 1);
+    return net;
+}
+
+} // namespace superbnn::sc

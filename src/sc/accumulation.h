@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SC-based accumulation module (paper Section 4.3, Fig. 6b).
+ *
+ * A BNN layer whose fan-in exceeds one crossbar is split over T crossbars.
+ * Each crossbar column emits an L-bit stochastic stream (the AQFP neuron
+ * observed over the window). Per clock cycle an APC counts the ones among
+ * the T corresponding column bits; the counts accumulate over the window
+ * and a comparator against a reference produces the 1-bit binary
+ * activation for the next layer:
+ *
+ *   output = +1  iff  sum_t sum_l b[t][l] >= Ref,  Ref = T*L/2 + offset
+ *
+ * which realizes sign( sum of bipolar values ) with an optional threshold
+ * offset used to carry the residual of the batch-norm matching.
+ */
+
+#ifndef SUPERBNN_SC_ACCUMULATION_H
+#define SUPERBNN_SC_ACCUMULATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "aqfp/cell_library.h"
+#include "sc/apc.h"
+#include "sc/bitstream.h"
+
+namespace superbnn::sc {
+
+/**
+ * The inter-crossbar accumulation module for one output column.
+ */
+class AccumulationModule
+{
+  public:
+    /**
+     * @param crossbars      number of row tiles T feeding the module
+     * @param window         SC observation window length L
+     * @param use_exact_apc  use the exact parallel counter instead of the
+     *                       approximate one (ablation knob)
+     * @param drop_fraction  approximation aggressiveness of the APC
+     */
+    AccumulationModule(std::size_t crossbars, std::size_t window,
+                       bool use_exact_apc = false,
+                       double drop_fraction = 0.25);
+
+    /**
+     * Run the module on T bitstreams of length L.
+     *
+     * @param streams          one stream per crossbar (size T, length L)
+     * @param reference_offset added to the bipolar zero reference T*L/2;
+     *                         positive offsets bias the output toward -1
+     * @return +1 or -1 binary activation
+     */
+    int accumulate(const std::vector<Bitstream> &streams,
+                   double reference_offset = 0.0) const;
+
+    /** Total ones-count over the window (before comparison). */
+    std::size_t rawCount(const std::vector<Bitstream> &streams) const;
+
+    /**
+     * Expected per-cycle undercount of the approximate APC around the
+     * decision point (0 for the exact counter); the comparator
+     * reference and decode are calibrated by this constant.
+     */
+    double apcBiasPerCycle() const;
+
+    /** The bipolar value implied by the raw count, in [-T, +T]. */
+    double decodedSum(const std::vector<Bitstream> &streams) const;
+
+    /** Gate inventory: APC + accumulator + comparator, for JJ accounting. */
+    aqfp::NetlistSummary netlist() const;
+
+    std::size_t crossbars() const { return crossbars_; }
+    std::size_t window() const { return window_; }
+    bool usesExactApc() const { return useExact; }
+
+  private:
+    std::size_t crossbars_;
+    std::size_t window_;
+    bool useExact;
+    ParallelCounter exact;
+    ApproxParallelCounter approx;
+};
+
+} // namespace superbnn::sc
+
+#endif // SUPERBNN_SC_ACCUMULATION_H

@@ -1,0 +1,79 @@
+#include "sc/bitstream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace superbnn::sc {
+
+Bitstream::Bitstream(std::size_t length) : bits_(length, 0) {}
+
+Bitstream::Bitstream(std::vector<std::uint8_t> bits) : bits_(std::move(bits))
+{
+    for (auto b : bits_)
+        assert(b == 0 || b == 1);
+}
+
+std::size_t
+Bitstream::popcount() const
+{
+    return static_cast<std::size_t>(
+        std::count(bits_.begin(), bits_.end(), 1));
+}
+
+double
+Bitstream::decode(Encoding enc) const
+{
+    assert(!bits_.empty());
+    const double p = static_cast<double>(popcount())
+        / static_cast<double>(bits_.size());
+    return enc == Encoding::Unipolar ? p : 2.0 * p - 1.0;
+}
+
+Bitstream
+Bitstream::xnorWith(const Bitstream &other) const
+{
+    assert(length() == other.length());
+    Bitstream out(length());
+    for (std::size_t i = 0; i < length(); ++i)
+        out.bits_[i] = (bits_[i] == other.bits_[i]) ? 1 : 0;
+    return out;
+}
+
+Bitstream
+Bitstream::andWith(const Bitstream &other) const
+{
+    assert(length() == other.length());
+    Bitstream out(length());
+    for (std::size_t i = 0; i < length(); ++i)
+        out.bits_[i] = (bits_[i] & other.bits_[i]);
+    return out;
+}
+
+std::string
+Bitstream::toString() const
+{
+    std::string s;
+    s.reserve(length());
+    for (auto b : bits_)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+double
+onesProbability(double value, Encoding enc)
+{
+    double p = (enc == Encoding::Unipolar) ? value : (value + 1.0) / 2.0;
+    return std::clamp(p, 0.0, 1.0);
+}
+
+Bitstream
+encode(double value, std::size_t length, Encoding enc, Rng &rng)
+{
+    const double p = onesProbability(value, enc);
+    Bitstream out(length);
+    for (std::size_t i = 0; i < length; ++i)
+        out.setBit(i, rng.bernoulli(p));
+    return out;
+}
+
+} // namespace superbnn::sc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stochastic-number bitstreams (paper Section 2.3).
+ *
+ * A stochastic number (SN) represents a value by the density of ones in a
+ * bit sequence. Unipolar encoding maps x in [0,1] to P(X=1) = x; bipolar
+ * encoding maps x in [-1,1] to P(X=1) = (x+1)/2. SupeRBNN uses bipolar
+ * streams generated for free by the AQFP buffer's randomized switching.
+ */
+
+#ifndef SUPERBNN_SC_BITSTREAM_H
+#define SUPERBNN_SC_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace superbnn::sc {
+
+/** Encoding convention of a stochastic bitstream. */
+enum class Encoding
+{
+    Unipolar,   ///< x in [0, 1], P(1) = x
+    Bipolar,    ///< x in [-1, 1], P(1) = (x + 1) / 2
+};
+
+/**
+ * A fixed-length stochastic bitstream.
+ */
+class Bitstream
+{
+  public:
+    /** All-zero stream of the given length. */
+    explicit Bitstream(std::size_t length = 0);
+
+    /** Build from explicit bits (each must be 0 or 1). */
+    explicit Bitstream(std::vector<std::uint8_t> bits);
+
+    std::size_t length() const { return bits_.size(); }
+
+    std::uint8_t bit(std::size_t i) const { return bits_[i]; }
+    void setBit(std::size_t i, bool value) { bits_[i] = value ? 1 : 0; }
+
+    /** Number of ones in the stream. */
+    std::size_t popcount() const;
+
+    /** Value under the given encoding (4/10 ones -> 0.4 or -0.2). */
+    double decode(Encoding enc) const;
+
+    /** Elementwise XNOR: bipolar stochastic multiplication. */
+    Bitstream xnorWith(const Bitstream &other) const;
+
+    /** Elementwise AND: unipolar stochastic multiplication. */
+    Bitstream andWith(const Bitstream &other) const;
+
+    /** "0100110100"-style string for diagnostics. */
+    std::string toString() const;
+
+    const std::vector<std::uint8_t> &bits() const { return bits_; }
+
+  private:
+    std::vector<std::uint8_t> bits_;
+};
+
+/**
+ * Encode a real value into a stochastic stream of the given length by
+ * i.i.d. Bernoulli draws (the paper's i.i.d. assumption). The value is
+ * clamped into the encoding's range.
+ */
+Bitstream encode(double value, std::size_t length, Encoding enc, Rng &rng);
+
+/** Probability of a '1' bit for a value under an encoding (clamped). */
+double onesProbability(double value, Encoding enc);
+
+} // namespace superbnn::sc
+
+#endif // SUPERBNN_SC_BITSTREAM_H

@@ -1,0 +1,61 @@
+#include "sc/pure_sc.h"
+
+#include <cassert>
+
+namespace superbnn::sc {
+
+PureScDotProduct::PureScDotProduct(std::size_t length) : length_(length)
+{
+    assert(length >= 1);
+}
+
+double
+PureScDotProduct::compute(const std::vector<double> &activations,
+                          const std::vector<double> &weights,
+                          Rng &rng) const
+{
+    assert(activations.size() == weights.size());
+    assert(!activations.empty());
+    double total = 0.0;
+    for (std::size_t i = 0; i < activations.size(); ++i) {
+        const Bitstream a =
+            encode(activations[i], length_, Encoding::Bipolar, rng);
+        const Bitstream w =
+            encode(weights[i], length_, Encoding::Bipolar, rng);
+        total += a.xnorWith(w).decode(Encoding::Bipolar);
+    }
+    return total;
+}
+
+double
+PureScDotProduct::signAccuracy(const std::vector<double> &activations,
+                               const std::vector<double> &weights,
+                               Rng &rng, std::size_t trials) const
+{
+    double exact = 0.0;
+    for (std::size_t i = 0; i < activations.size(); ++i)
+        exact += activations[i] * weights[i];
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const double est = compute(activations, weights, rng);
+        if ((est >= 0.0) == (exact >= 0.0))
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+std::size_t
+minimalPureScLength(const std::vector<double> &activations,
+                    const std::vector<double> &weights,
+                    const std::vector<std::size_t> &candidates,
+                    double target, Rng &rng)
+{
+    for (std::size_t len : candidates) {
+        const PureScDotProduct unit(len);
+        if (unit.signAccuracy(activations, weights, rng) >= target)
+            return len;
+    }
+    return 0;
+}
+
+} // namespace superbnn::sc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pure stochastic-computing dot product — a functional model of the
+ * SC-AQFP baseline (paper Section 2.3, Cai et al. ISCA'19).
+ *
+ * In a pure-SC design every operand (activation *and* weight) is an SN
+ * bitstream; multiplication is bit-wise XNOR (bipolar) and accumulation
+ * counts ones across products. The variance of the XNOR product streams
+ * forces very long bitstreams (the paper quotes 256~2048) to reach the
+ * accuracy SupeRBNN gets with 16~32, because SupeRBNN only uses SC for
+ * the *accumulation of already-computed* crossbar results.
+ */
+
+#ifndef SUPERBNN_SC_PURE_SC_H
+#define SUPERBNN_SC_PURE_SC_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sc/bitstream.h"
+
+namespace superbnn::sc {
+
+/**
+ * A pure-SC inner-product unit with bipolar encoding.
+ */
+class PureScDotProduct
+{
+  public:
+    /** @param length SN bitstream length for every operand */
+    explicit PureScDotProduct(std::size_t length);
+
+    /**
+     * Stochastic estimate of sum_i a_i * w_i for a_i, w_i in [-1, 1].
+     * Encodes both operands as SNs, XNOR-multiplies, and decodes the
+     * accumulated ones count.
+     */
+    double compute(const std::vector<double> &activations,
+                   const std::vector<double> &weights, Rng &rng) const;
+
+    /**
+     * Probability that the *sign* of the estimate matches the sign of
+     * the exact dot product, estimated over @p trials runs.
+     */
+    double signAccuracy(const std::vector<double> &activations,
+                        const std::vector<double> &weights, Rng &rng,
+                        std::size_t trials = 200) const;
+
+    std::size_t length() const { return length_; }
+
+  private:
+    std::size_t length_;
+};
+
+/**
+ * Find the minimal bitstream length (among the given candidates) whose
+ * sign accuracy on the given operands reaches @p target. Returns 0 when
+ * none does — the mechanism behind the paper's 256~2048 observation.
+ */
+std::size_t
+minimalPureScLength(const std::vector<double> &activations,
+                    const std::vector<double> &weights,
+                    const std::vector<std::size_t> &candidates,
+                    double target, Rng &rng);
+
+} // namespace superbnn::sc
+
+#endif // SUPERBNN_SC_PURE_SC_H

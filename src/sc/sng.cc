@@ -1,0 +1,30 @@
+#include "sc/sng.h"
+
+#include <cassert>
+
+namespace superbnn::sc {
+
+AqfpStochasticSource::AqfpStochasticSource(aqfp::GrayZoneModel model,
+                                           std::size_t window)
+    : model_(model), window_(window)
+{
+    assert(window >= 1);
+}
+
+Bitstream
+AqfpStochasticSource::observe(double iin_ua, Rng &rng) const
+{
+    Bitstream out(window_);
+    const double p = model_.probOne(iin_ua);
+    for (std::size_t i = 0; i < window_; ++i)
+        out.setBit(i, rng.bernoulli(p));
+    return out;
+}
+
+double
+AqfpStochasticSource::expectedValue(double iin_ua) const
+{
+    return 2.0 * model_.probOne(iin_ua) - 1.0;
+}
+
+} // namespace superbnn::sc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Stochastic number generation from AQFP neuron outputs (paper Fig. 6a).
+ *
+ * The AQFP buffer's randomized switching is a free true-random SN source:
+ * holding the crossbar input fixed for an observation window of L clock
+ * cycles yields an L-bit stream whose ones-density encodes the buffer's
+ * switching probability, i.e. a bipolar SN of the column's latent value.
+ */
+
+#ifndef SUPERBNN_SC_SNG_H
+#define SUPERBNN_SC_SNG_H
+
+#include "aqfp/grayzone.h"
+#include "sc/bitstream.h"
+
+namespace superbnn::sc {
+
+/**
+ * Converts an AQFP neuron's stochastic output into SN bitstreams by
+ * observing it for a fixed window while the input is held.
+ */
+class AqfpStochasticSource
+{
+  public:
+    /**
+     * @param model   gray-zone model of the neuron buffer
+     * @param window  observation window length L (the SN bit length)
+     */
+    AqfpStochasticSource(aqfp::GrayZoneModel model, std::size_t window);
+
+    /**
+     * Observe the buffer for L cycles with input current held at
+     * @p iin_ua; returns the resulting SN bitstream.
+     */
+    Bitstream observe(double iin_ua, Rng &rng) const;
+
+    /** Expected decoded bipolar value for an input current. */
+    double expectedValue(double iin_ua) const;
+
+    std::size_t window() const { return window_; }
+    const aqfp::GrayZoneModel &model() const { return model_; }
+
+  private:
+    aqfp::GrayZoneModel model_;
+    std::size_t window_;
+};
+
+} // namespace superbnn::sc
+
+#endif // SUPERBNN_SC_SNG_H

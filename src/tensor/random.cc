@@ -1,0 +1,12 @@
+#include "tensor/random.h"
+
+namespace superbnn {
+
+Rng &
+globalRng()
+{
+    static Rng rng;
+    return rng;
+}
+
+} // namespace superbnn

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic random number generation for the SupeRBNN framework.
+ *
+ * All stochastic behaviour in the library (AQFP gray-zone sampling,
+ * stochastic-number generation, weight initialization, synthetic data)
+ * flows through Rng so experiments are reproducible from a single seed.
+ */
+
+#ifndef SUPERBNN_TENSOR_RANDOM_H
+#define SUPERBNN_TENSOR_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+namespace superbnn {
+
+/**
+ * A seedable pseudo-random generator wrapping a 64-bit Mersenne twister.
+ *
+ * The wrapper keeps the distribution objects out of call sites and provides
+ * the handful of draws the library needs (uniform, normal, Bernoulli,
+ * integer ranges).
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed (default fixed for reproducibility). */
+    explicit Rng(std::uint64_t seed = 0x5eedcafeULL) : engine(seed) {}
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t s) { engine.seed(s); }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Standard normal scaled to N(mean, stddev^2). */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine);
+    }
+
+    /** Bernoulli draw: returns true with probability p (clamped to [0,1]). */
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return std::bernoulli_distribution(p)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    randint(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
+    }
+
+    /** Raw 64-bit draw, exposed for shuffling via std algorithms. */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+/** Process-wide default generator used when a component is not given one. */
+Rng &globalRng();
+
+} // namespace superbnn
+
+#endif // SUPERBNN_TENSOR_RANDOM_H

@@ -1,0 +1,234 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace superbnn {
+
+std::size_t
+Tensor::numel(const Shape &shape)
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(numel(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(numel(shape_), fill)
+{
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float> &values)
+{
+    Tensor t({values.size()});
+    std::copy(values.begin(), values.end(), t.data_.begin());
+    return t;
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float mean, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+}
+
+Tensor
+Tensor::rand(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::kaiming(Shape shape, Rng &rng, std::size_t fan_in)
+{
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(std::max<std::size_t>(fan_in, 1)));
+    return randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    assert(numel(new_shape) == data_.size());
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(const Tensor &other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] *= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float scalar)
+{
+    for (auto &v : data_)
+        v *= scalar;
+    return *this;
+}
+
+Tensor &
+Tensor::operator+=(float scalar)
+{
+    for (auto &v : data_)
+        v += scalar;
+    return *this;
+}
+
+Tensor
+Tensor::operator+(const Tensor &other) const
+{
+    Tensor t = *this;
+    t += other;
+    return t;
+}
+
+Tensor
+Tensor::operator-(const Tensor &other) const
+{
+    Tensor t = *this;
+    t -= other;
+    return t;
+}
+
+Tensor
+Tensor::operator*(const Tensor &other) const
+{
+    Tensor t = *this;
+    t *= other;
+    return t;
+}
+
+Tensor
+Tensor::operator*(float scalar) const
+{
+    Tensor t = *this;
+    t *= scalar;
+    return t;
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double
+Tensor::mean() const
+{
+    if (data_.empty())
+        return 0.0;
+    return sum() / static_cast<double>(data_.size());
+}
+
+double
+Tensor::variance() const
+{
+    if (data_.empty())
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (float v : data_)
+        acc += (v - m) * (v - m);
+    return acc / static_cast<double>(data_.size());
+}
+
+float
+Tensor::maxValue() const
+{
+    assert(!data_.empty());
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::minValue() const
+{
+    assert(!data_.empty());
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+std::size_t
+Tensor::argmax() const
+{
+    assert(!data_.empty());
+    return static_cast<std::size_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "Tensor[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+bool
+Tensor::equals(const Tensor &other) const
+{
+    return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool
+Tensor::allClose(const Tensor &other, float tol) const
+{
+    if (shape_ != other.shape_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace superbnn

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A small dense float tensor used as the numeric substrate for the BNN
+ * training framework and the hardware simulators.
+ *
+ * The tensor owns contiguous row-major float storage with up to four
+ * dimensions (N, C, H, W for images; fewer dims are stored with leading
+ * size-1 axes dropped). It is deliberately minimal: the library needs
+ * deterministic, dependency-free numerics, not a general autograd engine.
+ */
+
+#ifndef SUPERBNN_TENSOR_TENSOR_H
+#define SUPERBNN_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace superbnn {
+
+/** Shape of a tensor: a list of dimension extents. */
+using Shape = std::vector<std::size_t>;
+
+/**
+ * Dense row-major float tensor.
+ *
+ * Element access is by flat index or by multi-dimensional index helpers for
+ * the common 2-D and 4-D cases. All arithmetic helpers are elementwise and
+ * shape-checked with assertions.
+ */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no elements). */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Tensor of the given shape filled with a constant. */
+    Tensor(Shape shape, float fill);
+
+    /** Build a 1-D tensor from explicit values. */
+    static Tensor fromVector(const std::vector<float> &values);
+
+    /** Tensor with i.i.d. N(mean, stddev^2) entries. */
+    static Tensor randn(Shape shape, Rng &rng,
+                        float mean = 0.0f, float stddev = 1.0f);
+
+    /** Tensor with i.i.d. uniform entries in [lo, hi). */
+    static Tensor rand(Shape shape, Rng &rng, float lo = 0.0f,
+                       float hi = 1.0f);
+
+    /** Kaiming-style fan-in scaled init used for conv/linear weights. */
+    static Tensor kaiming(Shape shape, Rng &rng, std::size_t fan_in);
+
+    const Shape &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Extent of dimension d. */
+    std::size_t
+    dim(std::size_t d) const
+    {
+        assert(d < shape_.size());
+        return shape_[d];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](std::size_t i) { assert(i < data_.size()); return data_[i]; }
+    float operator[](std::size_t i) const { assert(i < data_.size()); return data_[i]; }
+
+    /** 2-D access (rows, cols). */
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        assert(rank() == 2);
+        return data_[r * shape_[1] + c];
+    }
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        assert(rank() == 2);
+        return data_[r * shape_[1] + c];
+    }
+
+    /** 4-D access (n, c, h, w). */
+    float &
+    at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+    {
+        assert(rank() == 4);
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+    float
+    at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const
+    {
+        assert(rank() == 4);
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+
+    /** Reinterpret the storage with a new shape of identical element count. */
+    Tensor reshaped(Shape new_shape) const;
+
+    /** Fill every element with a constant. */
+    void fill(float value);
+
+    /** Set all elements to zero. */
+    void zero() { fill(0.0f); }
+
+    // Elementwise in-place arithmetic (shapes must match exactly).
+    Tensor &operator+=(const Tensor &other);
+    Tensor &operator-=(const Tensor &other);
+    Tensor &operator*=(const Tensor &other);
+    Tensor &operator*=(float scalar);
+    Tensor &operator+=(float scalar);
+
+    // Elementwise out-of-place arithmetic.
+    Tensor operator+(const Tensor &other) const;
+    Tensor operator-(const Tensor &other) const;
+    Tensor operator*(const Tensor &other) const;
+    Tensor operator*(float scalar) const;
+
+    /** Sum of all elements. */
+    double sum() const;
+    /** Arithmetic mean of all elements (0 for empty tensors). */
+    double mean() const;
+    /** Population variance of all elements (0 for empty tensors). */
+    double variance() const;
+    /** Maximum element (requires non-empty tensor). */
+    float maxValue() const;
+    /** Minimum element (requires non-empty tensor). */
+    float minValue() const;
+    /** Flat index of the maximum element (requires non-empty tensor). */
+    std::size_t argmax() const;
+
+    /** Human-readable "Tensor[2, 3, 4]" shape string for diagnostics. */
+    std::string shapeString() const;
+
+    /** True when both shapes and all elements match exactly. */
+    bool equals(const Tensor &other) const;
+
+    /** True when shapes match and elements differ by at most tol. */
+    bool allClose(const Tensor &other, float tol = 1e-5f) const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+
+    static std::size_t numel(const Shape &shape);
+};
+
+} // namespace superbnn
+
+#endif // SUPERBNN_TENSOR_TENSOR_H

@@ -1,0 +1,326 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace superbnn {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // ikj loop order keeps the inner loop contiguous over B and C rows.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = pb + kk * n;
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposedB(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    assert(b.dim(1) == k);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = pb + j * k;
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(arow[kk]) * brow[kk];
+            pc[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposedA(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *arow = pa + kk * m;
+        const float *brow = pb + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float aik = arow[i];
+            if (aik == 0.0f)
+                continue;
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+im2col(const Tensor &input, const Conv2dSpec &spec)
+{
+    assert(input.rank() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = spec.outExtent(h), ow = spec.outExtent(w);
+    const std::size_t k = spec.kernel;
+    const std::size_t rows = c * k * k;
+    const std::size_t cols = n * oh * ow;
+    Tensor out({rows, cols});
+    float *po = out.data();
+    const float *pi = input.data();
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(spec.padding);
+
+    for (std::size_t ci = 0; ci < c; ++ci) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::size_t row = (ci * k + ky) * k + kx;
+                float *orow = po + row * cols;
+                for (std::size_t ni = 0; ni < n; ++ni) {
+                    const float *img = pi + (ni * c + ci) * h * w;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * spec.stride + ky)
+                            - pad;
+                        const std::size_t base = (ni * oh + oy) * ow;
+                        if (iy < 0 ||
+                            iy >= static_cast<std::ptrdiff_t>(h)) {
+                            continue; // stays zero
+                        }
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * spec.stride + kx) - pad;
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            orow[base + ox] = img[iy * w + ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+col2im(const Tensor &cols, const Shape &input_shape, const Conv2dSpec &spec)
+{
+    assert(cols.rank() == 2 && input_shape.size() == 4);
+    const std::size_t n = input_shape[0], c = input_shape[1];
+    const std::size_t h = input_shape[2], w = input_shape[3];
+    const std::size_t oh = spec.outExtent(h), ow = spec.outExtent(w);
+    const std::size_t k = spec.kernel;
+    const std::size_t ncols = n * oh * ow;
+    assert(cols.dim(0) == c * k * k && cols.dim(1) == ncols);
+
+    Tensor out(input_shape);
+    float *po = out.data();
+    const float *pc = cols.data();
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(spec.padding);
+
+    for (std::size_t ci = 0; ci < c; ++ci) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::size_t row = (ci * k + ky) * k + kx;
+                const float *crow = pc + row * ncols;
+                for (std::size_t ni = 0; ni < n; ++ni) {
+                    float *img = po + (ni * c + ci) * h * w;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * spec.stride + ky)
+                            - pad;
+                        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h))
+                            continue;
+                        const std::size_t base = (ni * oh + oy) * ow;
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * spec.stride + kx) - pad;
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            img[iy * w + ix] += crow[base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       const Conv2dSpec &spec)
+{
+    assert(input.rank() == 4 && weight.rank() == 4);
+    const std::size_t n = input.dim(0);
+    const std::size_t o = weight.dim(0), c = weight.dim(1);
+    assert(input.dim(1) == c);
+    assert(weight.dim(2) == spec.kernel && weight.dim(3) == spec.kernel);
+    const std::size_t oh = spec.outExtent(input.dim(2));
+    const std::size_t ow = spec.outExtent(input.dim(3));
+
+    const Tensor cols = im2col(input, spec);
+    const Tensor wmat =
+        weight.reshaped({o, c * spec.kernel * spec.kernel});
+    Tensor prod = matmul(wmat, cols); // (O, N*oh*ow)
+
+    Tensor out({n, o, oh, ow});
+    const float *pp = prod.data();
+    float *po = out.data();
+    const std::size_t plane = oh * ow;
+    for (std::size_t oi = 0; oi < o; ++oi) {
+        const float b = bias.empty() ? 0.0f : bias[oi];
+        for (std::size_t ni = 0; ni < n; ++ni) {
+            const float *src = pp + oi * (n * plane) + ni * plane;
+            float *dst = po + (ni * o + oi) * plane;
+            for (std::size_t p = 0; p < plane; ++p)
+                dst[p] = src[p] + b;
+        }
+    }
+    return out;
+}
+
+MaxPoolResult
+maxPool2d(const Tensor &input, const Conv2dSpec &spec)
+{
+    assert(input.rank() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = spec.outExtent(h), ow = spec.outExtent(w);
+    MaxPoolResult res;
+    res.output = Tensor({n, c, oh, ow});
+    res.indices.assign(res.output.size(), 0);
+    const float *pi = input.data();
+    float *po = res.output.data();
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(spec.padding);
+
+    std::size_t out_idx = 0;
+    for (std::size_t ni = 0; ni < n; ++ni) {
+        for (std::size_t ci = 0; ci < c; ++ci) {
+            const float *img = pi + (ni * c + ci) * h * w;
+            const std::size_t img_base = (ni * c + ci) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                        const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(
+                            oy * spec.stride + ky) - pad;
+                        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * spec.stride + kx) - pad;
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            const float v = img[iy * w + ix];
+                            if (v > best) {
+                                best = v;
+                                best_idx = img_base + iy * w + ix;
+                            }
+                        }
+                    }
+                    po[out_idx] = best;
+                    res.indices[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+Tensor
+avgPool2d(const Tensor &input, const Conv2dSpec &spec)
+{
+    assert(input.rank() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = spec.outExtent(h), ow = spec.outExtent(w);
+    Tensor out({n, c, oh, ow});
+    const float *pi = input.data();
+    float *po = out.data();
+    const float inv = 1.0f / static_cast<float>(spec.kernel * spec.kernel);
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(spec.padding);
+
+    std::size_t out_idx = 0;
+    for (std::size_t ni = 0; ni < n; ++ni) {
+        for (std::size_t ci = 0; ci < c; ++ci) {
+            const float *img = pi + (ni * c + ci) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+                    double acc = 0.0;
+                    for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                        const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(
+                            oy * spec.stride + ky) - pad;
+                        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * spec.stride + kx) - pad;
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            acc += img[iy * w + ix];
+                        }
+                    }
+                    po[out_idx] = static_cast<float>(acc) * inv;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+softmaxRows(const Tensor &logits)
+{
+    assert(logits.rank() == 2);
+    const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+    Tensor out({rows, cols});
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *in = logits.data() + r * cols;
+        float *o = out.data() + r * cols;
+        const float mx = *std::max_element(in, in + cols);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            o[c] = std::exp(in[c] - mx);
+            denom += o[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t c = 0; c < cols; ++c)
+            o[c] *= inv;
+    }
+    return out;
+}
+
+} // namespace superbnn

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Free-function tensor operations: matmul, im2col-based convolution,
+ * pooling, padding, and softmax. These are the numeric kernels behind the
+ * nn layers; they operate on plain Tensors and carry no training state.
+ */
+
+#ifndef SUPERBNN_TENSOR_TENSOR_OPS_H
+#define SUPERBNN_TENSOR_TENSOR_OPS_H
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace superbnn {
+
+/** Parameters of a 2-D convolution / pooling window. */
+struct Conv2dSpec
+{
+    std::size_t kernel = 3;     ///< square kernel extent
+    std::size_t stride = 1;     ///< stride in both dimensions
+    std::size_t padding = 0;    ///< zero padding on every border
+
+    /** Output spatial extent for an input extent `in`. */
+    std::size_t
+    outExtent(std::size_t in) const
+    {
+        return (in + 2 * padding - kernel) / stride + 1;
+    }
+};
+
+/**
+ * Matrix product C = A * B for 2-D tensors.
+ * A is (m, k), B is (k, n); returns (m, n).
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Matrix product with B transposed: A (m, k) x B (n, k) -> (m, n). */
+Tensor matmulTransposedB(const Tensor &a, const Tensor &b);
+
+/** Matrix product with A transposed: A (k, m) x B (k, n) -> (m, n). */
+Tensor matmulTransposedA(const Tensor &a, const Tensor &b);
+
+/**
+ * im2col: unfold an NCHW image batch into a matrix of convolution patches.
+ *
+ * @param input  4-D tensor (N, C, H, W)
+ * @param spec   kernel/stride/padding
+ * @return 2-D tensor (C*kernel*kernel, N*outH*outW); each column is one
+ *         receptive field, columns ordered image-major then row-major over
+ *         output positions.
+ */
+Tensor im2col(const Tensor &input, const Conv2dSpec &spec);
+
+/**
+ * col2im: fold the patch matrix back, accumulating overlaps. Inverse
+ * companion of im2col used by the convolution backward pass.
+ */
+Tensor col2im(const Tensor &cols, const Shape &input_shape,
+              const Conv2dSpec &spec);
+
+/**
+ * 2-D convolution of an NCHW batch with OIHW weights via im2col + matmul.
+ *
+ * @param input   (N, C, H, W)
+ * @param weight  (O, C, k, k)
+ * @param bias    length-O tensor, or empty for no bias
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+              const Conv2dSpec &spec);
+
+/** Result of a max-pool forward pass: values plus argmax indices. */
+struct MaxPoolResult
+{
+    Tensor output;                       ///< pooled values
+    std::vector<std::size_t> indices;    ///< flat input index of each max
+};
+
+/** 2-D max pooling over an NCHW batch. */
+MaxPoolResult maxPool2d(const Tensor &input, const Conv2dSpec &spec);
+
+/** 2-D average pooling over an NCHW batch. */
+Tensor avgPool2d(const Tensor &input, const Conv2dSpec &spec);
+
+/**
+ * Row-wise softmax of a 2-D tensor (numerically stabilized by max
+ * subtraction).
+ */
+Tensor softmaxRows(const Tensor &logits);
+
+} // namespace superbnn
+
+#endif // SUPERBNN_TENSOR_TENSOR_OPS_H

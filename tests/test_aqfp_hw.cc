@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the crossbar hardware cost model (Table 1) and the AQFP cell
+ * library. The Table-1 rows are checked against the paper's published
+ * numbers exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aqfp/cell_library.h"
+#include "aqfp/crossbar_hw.h"
+
+using namespace superbnn::aqfp;
+
+namespace {
+
+struct Table1Row
+{
+    std::size_t size;
+    double latencyPs;
+    std::size_t jj;
+    double energyAj;
+};
+
+// Verbatim from the paper's Table 1.
+const Table1Row kPaperTable1[] = {
+    {4, 60.0, 384, 1.92},       {8, 120.0, 1152, 5.76},
+    {16, 240.0, 3840, 19.20},   {18, 270.0, 4752, 23.76},
+    {36, 540.0, 17280, 86.4},   {72, 1080.0, 65664, 328.32},
+    {144, 2160.0, 255744, 1278.72},
+};
+
+} // namespace
+
+class Table1ParamTest : public ::testing::TestWithParam<Table1Row>
+{
+};
+
+TEST_P(Table1ParamTest, MatchesPaperExactly)
+{
+    const auto row = GetParam();
+    const CrossbarHardwareModel hw;
+    EXPECT_EQ(hw.jjCount(row.size), row.jj);
+    EXPECT_DOUBLE_EQ(hw.latencyPs(row.size), row.latencyPs);
+    EXPECT_NEAR(hw.energyPerCycleAj(row.size), row.energyAj, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table1ParamTest,
+                         ::testing::ValuesIn(kPaperTable1));
+
+TEST(CrossbarHw, Table1HasSevenRows)
+{
+    const CrossbarHardwareModel hw;
+    const auto rows = hw.table1();
+    EXPECT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows.front().size, 4u);
+    EXPECT_EQ(rows.back().size, 144u);
+}
+
+TEST(CrossbarHw, EnergyScalesLinearlyWithFrequency)
+{
+    const CrossbarHardwareModel hw;
+    const double e5 = hw.energyPerCycleAj(8, 5.0);
+    const double e1 = hw.energyPerCycleAj(8, 1.0);
+    EXPECT_NEAR(e5 / e1, 5.0, 1e-9);
+}
+
+TEST(CrossbarHw, JjCountQuadraticGrowth)
+{
+    const CrossbarHardwareModel hw;
+    // Doubling the size should roughly quadruple JJs for large arrays.
+    const double ratio = static_cast<double>(hw.jjCount(144))
+        / static_cast<double>(hw.jjCount(72));
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 4.1);
+}
+
+TEST(CellLibrary, AllCellsPresentWithPositiveJj)
+{
+    const CellLibrary lib;
+    EXPECT_EQ(lib.cells().size(), 8u);
+    for (const auto &cell : lib.cells())
+        EXPECT_GE(cell.jjCount, 2u);
+}
+
+TEST(CellLibrary, BufferIsTwoJunctionSquid)
+{
+    const CellLibrary lib;
+    EXPECT_EQ(lib.jjCount(CellType::Buffer), 2u);
+    EXPECT_EQ(lib.jjCount(CellType::Inverter), 2u);
+}
+
+TEST(CellLibrary, LimCellMatchesTable1ClosedForm)
+{
+    const CellLibrary lib;
+    EXPECT_EQ(lib.jjCount(CellType::LimCell),
+              CrossbarHardwareModel::kJjPerCell);
+}
+
+TEST(CellLibrary, EnergyCalibration)
+{
+    // 5 zJ per JJ per cycle at the 5 GHz design point.
+    EXPECT_DOUBLE_EQ(CellLibrary::energyPerJjAj(5.0), 0.005);
+    EXPECT_DOUBLE_EQ(CellLibrary::energyPerJjAj(2.5), 0.0025);
+}
+
+TEST(CellLibrary, GateEnergyProportionalToJj)
+{
+    const CellLibrary lib;
+    const double e_buf = lib.energyPerCycleAj(CellType::Buffer, 5.0);
+    const double e_maj = lib.energyPerCycleAj(CellType::Majority, 5.0);
+    EXPECT_NEAR(e_maj / e_buf,
+                static_cast<double>(lib.jjCount(CellType::Majority))
+                    / lib.jjCount(CellType::Buffer),
+                1e-12);
+}
+
+TEST(NetlistSummary, CountsAndTotals)
+{
+    const CellLibrary lib;
+    NetlistSummary net;
+    net.add(CellType::Buffer, 10);
+    net.add(CellType::Majority, 2);
+    net.add(CellType::Buffer, 5);
+    EXPECT_EQ(net.count(CellType::Buffer), 15u);
+    EXPECT_EQ(net.totalJj(lib),
+              15u * 2u + 2u * lib.jjCount(CellType::Majority));
+    EXPECT_NEAR(net.totalEnergyAj(lib, 5.0),
+                static_cast<double>(net.totalJj(lib)) * 0.005, 1e-12);
+}
+
+TEST(NetlistSummary, DescribeMentionsCells)
+{
+    const CellLibrary lib;
+    NetlistSummary net;
+    net.add(CellType::And, 3);
+    const std::string desc = net.describe(lib);
+    EXPECT_NE(desc.find("3xAND"), std::string::npos);
+    EXPECT_NE(desc.find("JJs"), std::string::npos);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the baseline database and Cryo-CMOS comparison models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_specs.h"
+#include "baselines/cryo.h"
+
+using namespace superbnn::baselines;
+
+TEST(BaselineDb, Cifar10RowsPresent)
+{
+    const auto &rows = cifar10Baselines();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].name, "DDN (VGG-Small)");
+    EXPECT_DOUBLE_EQ(rows[1].topsPerWatt, 82.6); // IMB
+    EXPECT_DOUBLE_EQ(rows[1].accuracyPercent, 87.7);
+    EXPECT_DOUBLE_EQ(rows[3].topsPerWatt, 617.0); // CMOS-BNN
+}
+
+TEST(BaselineDb, MnistRowsPresent)
+{
+    const auto &rows = mnistBaselines();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_DOUBLE_EQ(rows[0].topsPerWatt, 36.6);            // SyncBNN
+    EXPECT_DOUBLE_EQ(*rows[1].topsPerWattCooled, 8.1);      // RSFQ
+    EXPECT_DOUBLE_EQ(*rows[2].topsPerWattCooled, 50.0);     // ERSFQ
+    EXPECT_DOUBLE_EQ(rows[3].accuracyPercent, 96.9);        // SC-AQFP
+}
+
+TEST(BaselineDb, PaperSuperbnnRowsMatchTable2)
+{
+    const auto &rows = paperSuperbnnCifarRows();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_DOUBLE_EQ(rows[0].accuracyPercent, 91.7);
+    EXPECT_DOUBLE_EQ(rows[0].topsPerWatt, 1.9e5);
+    EXPECT_DOUBLE_EQ(rows[3].topsPerWatt, 6.8e6);
+    EXPECT_DOUBLE_EQ(rows[4].accuracyPercent, 92.2); // ResNet-18
+}
+
+TEST(BaselineDb, SupeRbnnBeatsReRamByPaperFactor)
+{
+    // The headline claim: ~7.8e4x higher efficiency than the ReRAM IMB.
+    const double imb = cifar10Baselines()[1].topsPerWatt;
+    const double ours = paperSuperbnnCifarRows()[3].topsPerWatt;
+    const double factor = ours / imb;
+    EXPECT_GT(factor, 5e4);
+    EXPECT_LT(factor, 1.2e5);
+}
+
+TEST(CryoCmosModel, GainAndCoolingTransforms)
+{
+    EXPECT_DOUBLE_EQ(CryoCmos::deviceEfficiency(100.0), 150.0);
+    EXPECT_NEAR(CryoCmos::cooledEfficiency(100.0), 150.0 / 10.65,
+                1e-9);
+}
+
+TEST(CryoCmosModel, CooledWorseThanRoom)
+{
+    // With 9.65x cooling overhead, 77K operation loses to room
+    // temperature on total energy despite the 1.5x device gain.
+    EXPECT_LT(CryoCmos::cooledEfficiency(617.0), 617.0);
+}
+
+TEST(AqfpScaling, InverseFrequency)
+{
+    const double at5 = 2.0e5;
+    EXPECT_NEAR(aqfpEfficiencyAt(at5, 1.0, false), 1.0e6, 1e-3);
+    EXPECT_NEAR(aqfpEfficiencyAt(at5, 10.0, false), 1.0e5, 1e-3);
+    EXPECT_NEAR(aqfpEfficiencyAt(at5, 5.0, true), at5 / 400.0, 1e-9);
+}
+
+TEST(Fig12Series, ContainsAllCurves)
+{
+    const std::vector<double> freqs = {0.1, 0.5, 1.0, 5.0, 10.0};
+    const auto curves = fig12Series(freqs, 2.0e5);
+    // 3 anchors x 3 variants + ours x 2 = 11 curves.
+    EXPECT_EQ(curves.size(), 11u);
+    for (const auto &c : curves) {
+        EXPECT_EQ(c.frequencyGhz.size(), freqs.size());
+        EXPECT_EQ(c.topsPerWatt.size(), freqs.size());
+    }
+}
+
+TEST(Fig12Series, OursDominatesByOrdersOfMagnitude)
+{
+    // Section 6.5: ~4 orders of magnitude over Cryo-CMOS device-only,
+    // 2-3 orders with cooling.
+    const std::vector<double> freqs = {1.0};
+    const auto curves = fig12Series(freqs, 2.0e5);
+    double best_cryo_device = 0.0, ours_device = 0.0, ours_cooled = 0.0;
+    double best_cryo_cooled = 0.0;
+    for (const auto &c : curves) {
+        if (c.name.rfind("Cryo-CMOS (77K, w/o", 0) == 0)
+            best_cryo_device =
+                std::max(best_cryo_device, c.topsPerWatt[0]);
+        if (c.name.rfind("Cryo-CMOS (77K, w/", 0) == 0
+            && c.name.find("w/ cooling") != std::string::npos)
+            best_cryo_cooled =
+                std::max(best_cryo_cooled, c.topsPerWatt[0]);
+        if (c.name == "Ours (4K, w/o cooling)")
+            ours_device = c.topsPerWatt[0];
+        if (c.name == "Ours (4K, w/ cooling)")
+            ours_cooled = c.topsPerWatt[0];
+    }
+    EXPECT_GT(ours_device / best_cryo_device, 1e3);
+    EXPECT_GT(ours_cooled / best_cryo_cooled, 1e1);
+}
+
+TEST(Fig12Series, OursDecreasesWithFrequency)
+{
+    const std::vector<double> freqs = {0.1, 1.0, 10.0};
+    const auto curves = fig12Series(freqs, 2.0e5);
+    for (const auto &c : curves) {
+        if (c.name.rfind("Ours", 0) == 0) {
+            EXPECT_GT(c.topsPerWatt[0], c.topsPerWatt[1]);
+            EXPECT_GT(c.topsPerWatt[1], c.topsPerWatt[2]);
+        }
+    }
+}
+
+TEST(Fig12Anchors, HaveProvenance)
+{
+    for (const auto &a : fig12CmosAnchors()) {
+        EXPECT_FALSE(a.provenance.empty());
+        EXPECT_GT(a.refTopsPerWatt, 0.0);
+        EXPECT_GT(a.refFrequencyGhz, 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the batch-normalization matching (Section 5.2, Eq. 16): the
+ * folded threshold form must reproduce the explicit BN + randomized-sign
+ * pipeline's output probabilities exactly, including negative-gamma
+ * channels.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqfp/attenuation.h"
+#include "aqfp/grayzone.h"
+#include "core/bn_matching.h"
+
+using namespace superbnn;
+using namespace superbnn::core;
+
+namespace {
+
+struct BnCase
+{
+    float gamma, beta, mean, var, alpha;
+};
+
+nn::BatchNorm
+makeBn(const BnCase &c)
+{
+    nn::BatchNorm bn(1);
+    bn.gamma().value[0] = c.gamma;
+    bn.beta().value[0] = c.beta;
+    bn.setRunningStats(Tensor::fromVector({c.mean}),
+                       Tensor::fromVector({c.var}));
+    return bn;
+}
+
+} // namespace
+
+TEST(BnMatching, IdentityBnGivesZeroThreshold)
+{
+    const BnCase c{1.0f, 0.0f, 0.0f, 1.0f, 1.0f};
+    auto bn = makeBn(c);
+    const Tensor alpha = Tensor::fromVector({c.alpha});
+    const FoldedBn folded = foldBatchNorm(bn, alpha);
+    EXPECT_NEAR(folded.vth[0], 0.0, 1e-5);
+    EXPECT_FALSE(folded.flip[0]);
+}
+
+TEST(BnMatching, ThresholdSolvesBnZeroCrossing)
+{
+    // vth is where the BN output crosses zero: gamma(alpha s - mu)/sd +
+    // beta = 0.
+    const BnCase c{2.0f, 1.0f, 3.0f, 4.0f, 0.5f};
+    auto bn = makeBn(c);
+    const FoldedBn folded =
+        foldBatchNorm(bn, Tensor::fromVector({c.alpha}));
+    const double sd = std::sqrt(c.var + bn.eps());
+    const double xbn_at_vth = c.gamma
+            * (c.alpha * folded.vth[0] - c.mean) / sd
+        + c.beta;
+    EXPECT_NEAR(xbn_at_vth, 0.0, 1e-5);
+}
+
+TEST(BnMatching, NegativeGammaSetsFlip)
+{
+    const BnCase c{-0.7f, 0.2f, 0.0f, 1.0f, 1.0f};
+    auto bn = makeBn(c);
+    const FoldedBn folded =
+        foldBatchNorm(bn, Tensor::fromVector({c.alpha}));
+    EXPECT_TRUE(folded.flip[0]);
+}
+
+class BnMatchingParamTest : public ::testing::TestWithParam<BnCase>
+{
+};
+
+TEST_P(BnMatchingParamTest, FoldedMatchesExplicitProbability)
+{
+    const BnCase c = GetParam();
+    auto bn = makeBn(c);
+    const Tensor alpha = Tensor::fromVector({c.alpha});
+    const FoldedBn folded = foldBatchNorm(bn, alpha);
+    const double delta_vin = 0.8;
+    for (double s = -12.0; s <= 12.0; s += 0.5) {
+        const double p_explicit =
+            explicitCellProbability(bn, alpha, 0, s, delta_vin);
+        const double p_folded =
+            foldedCellProbability(folded, 0, s, delta_vin);
+        EXPECT_NEAR(p_explicit, p_folded, 1e-6)
+            << "raw sum " << s << " gamma " << c.gamma;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, BnMatchingParamTest,
+    ::testing::Values(BnCase{1.0f, 0.0f, 0.0f, 1.0f, 1.0f},
+                      BnCase{2.0f, 1.0f, 3.0f, 4.0f, 0.5f},
+                      BnCase{0.5f, -2.0f, -1.0f, 0.25f, 2.0f},
+                      BnCase{-1.0f, 0.0f, 0.0f, 1.0f, 1.0f},
+                      BnCase{-0.8f, 1.5f, 2.0f, 9.0f, 0.25f},
+                      BnCase{3.0f, -0.5f, -4.0f, 2.0f, 1.5f},
+                      BnCase{-2.5f, -1.0f, 1.0f, 0.5f, 0.75f}));
+
+TEST(BnMatching, MultiChannelFold)
+{
+    nn::BatchNorm bn(3);
+    bn.gamma().value = Tensor::fromVector({1.0f, -1.0f, 2.0f});
+    bn.beta().value = Tensor::fromVector({0.5f, 0.0f, -1.0f});
+    bn.setRunningStats(Tensor::fromVector({1.0f, 2.0f, 3.0f}),
+                       Tensor::fromVector({1.0f, 1.0f, 4.0f}));
+    const Tensor alpha = Tensor::fromVector({1.0f, 0.5f, 2.0f});
+    const FoldedBn folded = foldBatchNorm(bn, alpha);
+    EXPECT_EQ(folded.channels(), 3u);
+    EXPECT_FALSE(folded.flip[0]);
+    EXPECT_TRUE(folded.flip[1]);
+    EXPECT_FALSE(folded.flip[2]);
+    // Channel 1 threshold: mu/alpha - beta sd/(gamma alpha) = 2/0.5 = 4.
+    EXPECT_NEAR(folded.vth[1], 4.0, 1e-5);
+}
+
+TEST(BnMatching, ThresholdShiftsWithBeta)
+{
+    // Larger beta (with positive gamma) lowers the threshold: the cell
+    // fires +1 more easily.
+    const BnCase base{1.0f, 0.0f, 0.0f, 1.0f, 1.0f};
+    const BnCase biased{1.0f, 2.0f, 0.0f, 1.0f, 1.0f};
+    auto bn_a = makeBn(base);
+    auto bn_b = makeBn(biased);
+    const Tensor alpha = Tensor::fromVector({1.0f});
+    const double vth_a = foldBatchNorm(bn_a, alpha).vth[0];
+    const double vth_b = foldBatchNorm(bn_b, alpha).vth[0];
+    EXPECT_LT(vth_b, vth_a);
+}
+
+TEST(BnMatching, Eq16CurrentThresholdScaling)
+{
+    // The paper expresses Ith = vth * I1(Cs); verify the value-to-current
+    // conversion composes with the attenuation model.
+    const aqfp::AttenuationModel atten;
+    const BnCase c{2.0f, 1.0f, 3.0f, 4.0f, 0.5f};
+    auto bn = makeBn(c);
+    const FoldedBn folded =
+        foldBatchNorm(bn, Tensor::fromVector({c.alpha}));
+    const double cs = 16.0;
+    const double ith = folded.vth[0] * atten.currentForValueOne(cs);
+    // Reconstruct: at the threshold current the gray-zone probability
+    // must be exactly one half.
+    const aqfp::GrayZoneModel gz(2.4, ith);
+    EXPECT_NEAR(
+        gz.probOne(folded.vth[0] * atten.currentForValueOne(cs)), 0.5,
+        1e-12);
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the randomized-aware binarization layers (Eq. 3/7/10).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/randomized_binarize.h"
+
+using namespace superbnn;
+using namespace superbnn::core;
+
+namespace {
+
+aqfp::AttenuationModel
+atten()
+{
+    return aqfp::AttenuationModel();
+}
+
+} // namespace
+
+TEST(AqfpBehaviorTest, DeltaVinMatchesEquationFour)
+{
+    const auto model = atten();
+    AqfpBehavior b;
+    b.crossbarSize = 36;
+    b.deltaIinUa = 2.4;
+    EXPECT_NEAR(b.deltaVin(model),
+                2.4 / model.currentForValueOne(36.0), 1e-12);
+}
+
+TEST(RandomizedBinarizeTest, OutputsAreBipolar)
+{
+    Rng rng(1);
+    const auto model = atten();
+    RandomizedBinarize layer(AqfpBehavior{16, 2.4, 0.0}, model, rng);
+    Tensor x = Tensor::randn({4, 10}, rng);
+    Tensor y = layer.forward(x, true);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_TRUE(y[i] == 1.0f || y[i] == -1.0f);
+}
+
+TEST(RandomizedBinarizeTest, ProbabilityIsErf)
+{
+    Rng rng(2);
+    const auto model = atten();
+    AqfpBehavior b{16, 2.4, 0.3};
+    RandomizedBinarize layer(b, model, rng);
+    const double dvin = b.deltaVin(model);
+    for (double v : {-1.0, 0.0, 0.3, 1.0}) {
+        const double expect = 0.5
+            + 0.5 * std::erf(std::sqrt(M_PI) * (v - 0.3) / dvin);
+        EXPECT_NEAR(layer.probPlusOne(v), expect, 1e-12);
+    }
+}
+
+TEST(RandomizedBinarizeTest, SamplingFollowsProbability)
+{
+    Rng rng(3);
+    const auto model = atten();
+    RandomizedBinarize layer(AqfpBehavior{36, 2.4, 0.0}, model, rng);
+    const float v = 0.4f;
+    Tensor x({20000}, v);
+    Tensor y = layer.forward(x, true);
+    double plus = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        plus += y[i] > 0 ? 1.0 : 0.0;
+    plus /= static_cast<double>(y.size());
+    EXPECT_NEAR(plus, layer.probPlusOne(v), 0.02);
+}
+
+TEST(RandomizedBinarizeTest, GradientIsErfDerivative)
+{
+    Rng rng(4);
+    const auto model = atten();
+    AqfpBehavior b{16, 2.4, 0.0};
+    RandomizedBinarize layer(b, model, rng);
+    const double dvin = b.deltaVin(model);
+    Tensor x = Tensor::fromVector({-0.8f, -0.1f, 0.0f, 0.5f, 2.0f});
+    layer.forward(x, true);
+    Tensor dx = layer.backward(Tensor({5}, 1.0f));
+    for (std::size_t i = 0; i < 5; ++i) {
+        const double z = x[i] / dvin;
+        const double expect = (2.0 / dvin) * std::exp(-M_PI * z * z);
+        EXPECT_NEAR(dx[i], expect, 1e-5);
+    }
+}
+
+TEST(RandomizedBinarizeTest, GradientMatchesNumericExpectation)
+{
+    // The backward pass is d/dx E[ab] = d/dx (2 P(x) - 1).
+    Rng rng(5);
+    const auto model = atten();
+    RandomizedBinarize layer(AqfpBehavior{16, 2.4, 0.1}, model, rng);
+    const double eps = 1e-5;
+    for (double v : {-0.6, 0.1, 0.9}) {
+        const double num = (2.0 * layer.probPlusOne(v + eps)
+                            - 2.0 * layer.probPlusOne(v - eps))
+            / (2.0 * eps);
+        Tensor x({1}, static_cast<float>(v));
+        layer.forward(x, true);
+        const Tensor dx = layer.backward(Tensor({1}, 1.0f));
+        EXPECT_NEAR(dx[0], num, 1e-4);
+    }
+}
+
+TEST(RandomizedBinarizeTest, DeterministicEvalUsesExpectationSign)
+{
+    Rng rng(6);
+    const auto model = atten();
+    RandomizedBinarize layer(AqfpBehavior{16, 2.4, 0.0}, model, rng,
+                             /*sample_in_eval=*/false);
+    Tensor x = Tensor::fromVector({-0.4f, 0.4f});
+    Tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], -1.0f);
+    EXPECT_FLOAT_EQ(y[1], 1.0f);
+    // Repeat: deterministic.
+    Tensor y2 = layer.forward(x, false);
+    EXPECT_TRUE(y.equals(y2));
+}
+
+TEST(RandomizedBinarizeTest, LargerCrossbarIsNoisier)
+{
+    // Challenge #2: the value-domain gray zone grows with Cs, so the
+    // same latent value binarizes less deterministically.
+    Rng rng(7);
+    const auto model = atten();
+    RandomizedBinarize small(AqfpBehavior{8, 2.4, 0.0}, model, rng);
+    RandomizedBinarize big(AqfpBehavior{144, 2.4, 0.0}, model, rng);
+    EXPECT_GT(small.probPlusOne(1.0), big.probPlusOne(1.0));
+    EXPECT_LT(small.probPlusOne(-1.0), big.probPlusOne(-1.0));
+}
+
+// --- CellBinarize ---
+
+namespace {
+
+/** A BN layer with hand-set inference statistics. */
+nn::BatchNorm
+makeBn(std::size_t channels, const std::vector<float> &gamma,
+       const std::vector<float> &beta, const std::vector<float> &mean,
+       const std::vector<float> &var)
+{
+    nn::BatchNorm bn(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+        bn.gamma().value[c] = gamma[c];
+        bn.beta().value[c] = beta[c];
+    }
+    bn.setRunningStats(Tensor::fromVector(mean), Tensor::fromVector(var));
+    return bn;
+}
+
+} // namespace
+
+TEST(CellBinarizeTest, ChannelWidthUsesAbsoluteSlope)
+{
+    Rng rng(8);
+    const auto model = atten();
+    auto bn = makeBn(2, {2.0f, -1.5f}, {0.0f, 0.0f}, {0.0f, 0.0f},
+                     {1.0f, 4.0f});
+    nn::Parameter alpha(Tensor::fromVector({0.5f, 2.0f}));
+    AqfpBehavior b{16, 2.4, 0.0};
+    CellBinarize layer(b, model, rng, &bn, &alpha);
+    const double dvin = b.deltaVin(model);
+    // |k0| = 2 * 0.5 / sqrt(1 + eps) ~ 1.
+    EXPECT_NEAR(layer.channelWidth(0), 1.0 * dvin, 1e-4);
+    // |k1| = |-1.5| * 2 / sqrt(4 + eps) ~ 1.5 (positive despite gamma
+    // < 0: the Eq. 15 flip lives in the BN output's own sign).
+    EXPECT_NEAR(layer.channelWidth(1), 1.5 * dvin, 1e-3);
+}
+
+TEST(CellBinarizeTest, MonotoneInBnOutputForEitherGammaSign)
+{
+    // The cell fires +1 with P > 0.5 whenever the BN output is positive
+    // regardless of gamma's sign: for gamma < 0 a positive BN output
+    // corresponds to a raw sum below the folded threshold, which is
+    // exactly the Eq. 15 flipped decision.
+    Rng rng(9);
+    const auto model = atten();
+    for (float gamma : {1.0f, -1.0f}) {
+        auto bn = makeBn(1, {gamma}, {0.0f}, {0.0f}, {1.0f});
+        nn::Parameter alpha(Tensor::fromVector({1.0f}));
+        CellBinarize layer(AqfpBehavior{16, 2.4, 0.0}, model, rng, &bn,
+                           &alpha);
+        Tensor x({20000, 1}, 0.5f);
+        Tensor y = layer.forward(x, true);
+        double plus = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i)
+            plus += y[i] > 0 ? 1.0 : 0.0;
+        plus /= static_cast<double>(y.size());
+        EXPECT_GT(plus, 0.5) << "gamma " << gamma;
+    }
+}
+
+TEST(CellBinarizeTest, GradientPositiveForEitherGammaSign)
+{
+    Rng rng(10);
+    const auto model = atten();
+    auto bn_pos = makeBn(1, {1.0f}, {0.0f}, {0.0f}, {1.0f});
+    auto bn_neg = makeBn(1, {-1.0f}, {0.0f}, {0.0f}, {1.0f});
+    nn::Parameter alpha(Tensor::fromVector({1.0f}));
+    CellBinarize pos(AqfpBehavior{16, 2.4, 0.0}, model, rng, &bn_pos,
+                     &alpha);
+    CellBinarize neg(AqfpBehavior{16, 2.4, 0.0}, model, rng, &bn_neg,
+                     &alpha);
+    Tensor x({1, 1}, 0.2f);
+    pos.forward(x, true);
+    neg.forward(x, true);
+    const Tensor gp = pos.backward(Tensor({1, 1}, 1.0f));
+    const Tensor gn = neg.backward(Tensor({1, 1}, 1.0f));
+    EXPECT_GT(gp[0], 0.0f);
+    EXPECT_GT(gn[0], 0.0f);
+}
+
+TEST(CellBinarizeTest, SupportsConvShapedInput)
+{
+    Rng rng(11);
+    const auto model = atten();
+    auto bn = makeBn(3, {1.0f, 1.0f, 1.0f}, {0.0f, 0.0f, 0.0f},
+                     {0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f});
+    nn::Parameter alpha(Tensor({3}, 1.0f));
+    CellBinarize layer(AqfpBehavior{16, 2.4, 0.0}, model, rng, &bn,
+                       &alpha);
+    Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+    Tensor y = layer.forward(x, true);
+    EXPECT_EQ(y.shape(), x.shape());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_TRUE(y[i] == 1.0f || y[i] == -1.0f);
+    Tensor dx = layer.backward(Tensor(x.shape(), 1.0f));
+    EXPECT_EQ(dx.shape(), x.shape());
+}

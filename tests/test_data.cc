@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the synthetic datasets and the data loader.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_cifar.h"
+#include "data/synthetic_mnist.h"
+
+using namespace superbnn;
+using namespace superbnn::data;
+
+TEST(SyntheticMnistTest, ShapesAndSizes)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 100;
+    opts.testSize = 40;
+    const auto ds = makeSyntheticMnist(opts);
+    EXPECT_EQ(ds.train.size(), 100u);
+    EXPECT_EQ(ds.test.size(), 40u);
+    EXPECT_EQ(ds.train.samples.dim(1), 784u);
+    EXPECT_EQ(ds.train.numClasses(), 10u);
+}
+
+TEST(SyntheticMnistTest, ImageShapeWhenNotFlat)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 20;
+    opts.testSize = 10;
+    opts.flat = false;
+    const auto ds = makeSyntheticMnist(opts);
+    ASSERT_EQ(ds.train.samples.rank(), 4u);
+    EXPECT_EQ(ds.train.samples.dim(1), 1u);
+    EXPECT_EQ(ds.train.samples.dim(2), 28u);
+    EXPECT_EQ(ds.train.samples.dim(3), 28u);
+}
+
+TEST(SyntheticMnistTest, DeterministicFromSeed)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 30;
+    opts.testSize = 10;
+    const auto a = makeSyntheticMnist(opts);
+    const auto b = makeSyntheticMnist(opts);
+    EXPECT_TRUE(a.train.samples.equals(b.train.samples));
+    EXPECT_EQ(a.train.labels, b.train.labels);
+    opts.seed = 43;
+    const auto c = makeSyntheticMnist(opts);
+    EXPECT_FALSE(a.train.samples.equals(c.train.samples));
+}
+
+TEST(SyntheticMnistTest, ValuesInBipolarRange)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 50;
+    opts.testSize = 10;
+    const auto ds = makeSyntheticMnist(opts);
+    EXPECT_GE(ds.train.samples.minValue(), -1.0f);
+    EXPECT_LE(ds.train.samples.maxValue(), 1.0f);
+}
+
+TEST(SyntheticMnistTest, ClassBalance)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 200;
+    opts.testSize = 10;
+    const auto ds = makeSyntheticMnist(opts);
+    std::vector<int> counts(10, 0);
+    for (auto l : ds.train.labels)
+        counts[l]++;
+    for (int c : counts)
+        EXPECT_EQ(c, 20);
+}
+
+TEST(SyntheticMnistTest, ClassesAreSeparable)
+{
+    // Nearest-prototype classification on noiseless class means must be
+    // far better than chance, otherwise the set is untrainable.
+    SyntheticMnistOptions opts;
+    opts.trainSize = 500;
+    opts.testSize = 200;
+    const auto ds = makeSyntheticMnist(opts);
+    // Compute per-class mean from train.
+    std::vector<std::vector<double>> means(
+        10, std::vector<double>(784, 0.0));
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < ds.train.size(); ++i) {
+        const auto cls = ds.train.labels[i];
+        counts[cls]++;
+        for (std::size_t j = 0; j < 784; ++j)
+            means[cls][j] += ds.train.samples[i * 784 + j];
+    }
+    for (std::size_t c = 0; c < 10; ++c)
+        for (auto &v : means[c])
+            v /= counts[c];
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.test.size(); ++i) {
+        double best = 1e18;
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < 10; ++c) {
+            double d = 0.0;
+            for (std::size_t j = 0; j < 784; ++j) {
+                const double diff =
+                    ds.test.samples[i * 784 + j] - means[c][j];
+                d += diff * diff;
+            }
+            if (d < best) {
+                best = d;
+                best_c = c;
+            }
+        }
+        if (best_c == ds.test.labels[i])
+            ++correct;
+    }
+    const double acc =
+        static_cast<double>(correct) / ds.test.size();
+    EXPECT_GT(acc, 0.6) << "synthetic MNIST not separable enough";
+}
+
+TEST(SyntheticCifarTest, ShapesAndRange)
+{
+    SyntheticCifarOptions opts;
+    opts.trainSize = 40;
+    opts.testSize = 20;
+    const auto ds = makeSyntheticCifar(opts);
+    ASSERT_EQ(ds.train.samples.rank(), 4u);
+    EXPECT_EQ(ds.train.samples.dim(1), 3u);
+    EXPECT_EQ(ds.train.samples.dim(2), 32u);
+    EXPECT_GE(ds.train.samples.minValue(), -1.0f);
+    EXPECT_LE(ds.train.samples.maxValue(), 1.0f);
+}
+
+TEST(SyntheticCifarTest, Deterministic)
+{
+    SyntheticCifarOptions opts;
+    opts.trainSize = 20;
+    opts.testSize = 10;
+    const auto a = makeSyntheticCifar(opts);
+    const auto b = makeSyntheticCifar(opts);
+    EXPECT_TRUE(a.train.samples.equals(b.train.samples));
+}
+
+TEST(SyntheticCifarTest, DistinctClassesDiffer)
+{
+    SyntheticCifarOptions opts;
+    opts.trainSize = 20;
+    opts.testSize = 10;
+    opts.pixelNoise = 0.0;
+    opts.maxShift = 0;
+    const auto ds = makeSyntheticCifar(opts);
+    // Class 0 (sample 0) and class 1 (sample 1) prototypes must differ.
+    double diff = 0.0;
+    const std::size_t stride = 3 * 32 * 32;
+    for (std::size_t j = 0; j < stride; ++j)
+        diff += std::abs(ds.train.samples[j]
+                         - ds.train.samples[stride + j]);
+    EXPECT_GT(diff / stride, 0.05);
+}
+
+TEST(DatasetTest, SampleSlicePreservesRank)
+{
+    SyntheticCifarOptions opts;
+    opts.trainSize = 10;
+    opts.testSize = 5;
+    const auto ds = makeSyntheticCifar(opts);
+    const Tensor s = ds.train.sample(3);
+    ASSERT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.dim(0), 1u);
+    for (std::size_t j = 0; j < s.size(); ++j)
+        EXPECT_EQ(s[j], ds.train.samples[3 * s.size() + j]);
+}
+
+TEST(DataLoaderTest, BatchCountAndSizes)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 25;
+    opts.testSize = 5;
+    const auto ds = makeSyntheticMnist(opts);
+    DataLoader loader(ds.train, 10);
+    EXPECT_EQ(loader.batchCount(), 3u);
+    EXPECT_EQ(loader.batch(0).labels.size(), 10u);
+    EXPECT_EQ(loader.batch(2).labels.size(), 5u); // remainder
+    EXPECT_EQ(loader.batch(1).inputs.dim(0), 10u);
+}
+
+TEST(DataLoaderTest, ShuffleIsPermutation)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 50;
+    opts.testSize = 5;
+    const auto ds = makeSyntheticMnist(opts);
+    DataLoader loader(ds.train, 50);
+    Rng rng(1);
+    loader.shuffle(rng);
+    const auto batch = loader.batch(0);
+    std::multiset<std::size_t> seen(batch.labels.begin(),
+                                    batch.labels.end());
+    std::multiset<std::size_t> expect(ds.train.labels.begin(),
+                                      ds.train.labels.end());
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(DataLoaderTest, BatchContentsMatchSamples)
+{
+    SyntheticMnistOptions opts;
+    opts.trainSize = 12;
+    opts.testSize = 5;
+    const auto ds = makeSyntheticMnist(opts);
+    DataLoader loader(ds.train, 4); // unshuffled: identity order
+    const auto b = loader.batch(1); // samples 4..7
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(b.labels[i], ds.train.labels[4 + i]);
+        for (std::size_t j = 0; j < 784; ++j)
+            EXPECT_EQ(b.inputs[i * 784 + j],
+                      ds.train.samples[(4 + i) * 784 + j]);
+    }
+}

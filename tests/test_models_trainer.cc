@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests: the randomized BNN models train end to end on the
+ * synthetic datasets and beat chance clearly; the trainer applies the
+ * warmup/cosine/ReCU recipe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic_cifar.h"
+#include "data/synthetic_mnist.h"
+
+using namespace superbnn;
+using namespace superbnn::core;
+
+namespace {
+
+aqfp::AttenuationModel
+atten()
+{
+    return aqfp::AttenuationModel();
+}
+
+data::SyntheticMnist
+smallMnist()
+{
+    data::SyntheticMnistOptions opts;
+    opts.trainSize = 600;
+    opts.testSize = 200;
+    return makeSyntheticMnist(opts);
+}
+
+} // namespace
+
+TEST(RandomizedMlpTest, StructureExposed)
+{
+    Rng rng(1);
+    const auto model_atten = atten();
+    RandomizedMlp mlp(784, {64, 32}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng);
+    EXPECT_EQ(mlp.cells().size(), 2u);
+    EXPECT_EQ(mlp.cells()[0].linear->inFeatures(), 784u);
+    EXPECT_EQ(mlp.cells()[1].linear->outFeatures(), 32u);
+    EXPECT_EQ(mlp.head().outFeatures(), 10u);
+    EXPECT_EQ(mlp.binaryWeightTensors().size(), 3u);
+    // Parameters: per cell (weight, alpha, gamma, beta) + head (w, a).
+    EXPECT_EQ(mlp.parameters().size(), 2u * 4u + 2u);
+}
+
+TEST(RandomizedMlpTest, ForwardShapesAndStochasticity)
+{
+    Rng rng(2);
+    const auto model_atten = atten();
+    RandomizedMlp mlp(784, {32}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng);
+    Tensor x = Tensor::randn({4, 784}, rng);
+    Tensor y1 = mlp.forward(x, false);
+    EXPECT_EQ(y1.dim(0), 4u);
+    EXPECT_EQ(y1.dim(1), 10u);
+    // Inference is stochastic (device-faithful): two passes differ
+    // almost surely.
+    Tensor y2 = mlp.forward(x, false);
+    EXPECT_FALSE(y1.equals(y2));
+}
+
+TEST(RandomizedMlpTest, TrainsAboveChanceOnSyntheticMnist)
+{
+    Rng rng(3);
+    const auto model_atten = atten();
+    const auto ds = smallMnist();
+    RandomizedMlp mlp(784, {64}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng);
+    TrainConfig cfg;
+    cfg.epochs = 30;
+    cfg.batchSize = 64;
+    cfg.lr = 0.05;
+    cfg.warmupEpochs = 3;
+    const Trainer trainer(cfg);
+    const auto result = trainer.train(mlp, ds.train, ds.test, rng);
+    EXPECT_EQ(result.testAccuracy.size(), 30u);
+    EXPECT_GT(result.finalTestAccuracy, 0.5)
+        << "randomized MLP failed to learn";
+    // Loss must drop substantially.
+    EXPECT_LT(result.trainLoss.back(), result.trainLoss.front() * 0.8);
+}
+
+TEST(RandomizedMlpTest, DeterministicAblationAlsoTrains)
+{
+    Rng rng(4);
+    const auto model_atten = atten();
+    const auto ds = smallMnist();
+    RandomizedMlp mlp(784, {64}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng, BinarizeMode::Deterministic);
+    TrainConfig cfg;
+    cfg.epochs = 12;
+    cfg.warmupEpochs = 2;
+    const Trainer trainer(cfg);
+    const auto result = trainer.train(mlp, ds.train, ds.test, rng);
+    EXPECT_GT(result.finalTestAccuracy, 0.4);
+}
+
+TEST(RandomizedMlpTest, ReCUKeepsWeightsInQuantileBand)
+{
+    Rng rng(5);
+    const auto model_atten = atten();
+    const auto ds = smallMnist();
+    RandomizedMlp mlp(784, {32}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.useReCU = true;
+    const Trainer trainer(cfg);
+    trainer.train(mlp, ds.train, ds.test, rng);
+    for (Tensor *w : mlp.binaryWeightTensors()) {
+        // After clamping, extremes equal the quantile bounds: the
+        // max/min appear multiple times.
+        std::size_t at_max = 0, at_min = 0;
+        const float mx = w->maxValue(), mn = w->minValue();
+        for (std::size_t i = 0; i < w->size(); ++i) {
+            at_max += (*w)[i] == mx;
+            at_min += (*w)[i] == mn;
+        }
+        EXPECT_GT(at_max, 1u);
+        EXPECT_GT(at_min, 1u);
+    }
+}
+
+TEST(RandomizedCnnTest, StructureAndForward)
+{
+    Rng rng(6);
+    const auto model_atten = atten();
+    RandomizedCnn::Config cfg;
+    cfg.channels = {8, 16};
+    cfg.poolAfter = {true, true};
+    RandomizedCnn cnn(cfg, AqfpBehavior{16, 2.4, 0.0}, model_atten,
+                      rng);
+    EXPECT_EQ(cnn.cells().size(), 2u);
+    EXPECT_EQ(cnn.binaryWeightTensors().size(), 3u);
+    Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    Tensor y = cnn.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2u);
+    EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(RandomizedCnnTest, TrainsOnSyntheticCifarSubset)
+{
+    Rng rng(7);
+    const auto model_atten = atten();
+    data::SyntheticCifarOptions dopts;
+    dopts.trainSize = 300;
+    dopts.testSize = 100;
+    const auto ds = makeSyntheticCifar(dopts);
+    RandomizedCnn::Config ccfg;
+    ccfg.channels = {8, 16};
+    ccfg.poolAfter = {true, true};
+    RandomizedCnn cnn(ccfg, AqfpBehavior{16, 2.4, 0.0}, model_atten,
+                      rng);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batchSize = 32;
+    cfg.lr = 0.05;
+    cfg.warmupEpochs = 1;
+    const Trainer trainer(cfg);
+    const auto result = trainer.train(cnn, ds.train, ds.test, rng);
+    EXPECT_GT(result.finalTestAccuracy, 0.3)
+        << "CNN failed to beat chance clearly";
+}
+
+TEST(TrainerTest, EvaluateCapsSamples)
+{
+    Rng rng(8);
+    const auto model_atten = atten();
+    const auto ds = smallMnist();
+    RandomizedMlp mlp(784, {16}, 10, AqfpBehavior{16, 2.4, 0.0},
+                      model_atten, rng);
+    const double acc = Trainer::evaluate(mlp, ds.test, 50);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(TrainerTest, VerboseOffByDefaultAndConfigStored)
+{
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    const Trainer trainer(cfg);
+    EXPECT_EQ(trainer.config().epochs, 3u);
+    EXPECT_FALSE(trainer.config().verbose);
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the binary (XNOR-Net style) layers and the ReCU weight
+ * rectified clamp.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/binary_conv.h"
+#include "nn/binary_linear.h"
+#include "nn/recu.h"
+#include "tensor/tensor_ops.h"
+
+using namespace superbnn;
+using namespace superbnn::nn;
+
+TEST(BinaryLinear, ForwardUsesSignedWeightsTimesAlpha)
+{
+    Rng rng(1);
+    BinaryLinear lin(3, 2, rng);
+    lin.weight().value =
+        Tensor::fromVector({0.5f, -0.2f, 0.9f, -0.7f, 0.1f, -0.4f})
+            .reshaped({2, 3});
+    lin.alpha().value = Tensor::fromVector({2.0f, 3.0f});
+    Tensor x = Tensor::fromVector({1.0f, -1.0f, 1.0f}).reshaped({1, 3});
+    Tensor y = lin.forward(x, false);
+    // Row 0 signs: +,-,+ -> dot = 1+1+1 = 3; times alpha 2 = 6.
+    EXPECT_FLOAT_EQ(y.at(0, 0), 6.0f);
+    // Row 1 signs: -,+,- -> dot = -1-1-1 = -3; times alpha 3 = -9.
+    EXPECT_FLOAT_EQ(y.at(0, 1), -9.0f);
+}
+
+TEST(BinaryLinear, SignedWeightsAreBipolar)
+{
+    Rng rng(2);
+    BinaryLinear lin(10, 6, rng);
+    Tensor wb = lin.signedWeights();
+    for (std::size_t i = 0; i < wb.size(); ++i)
+        EXPECT_TRUE(wb[i] == 1.0f || wb[i] == -1.0f);
+}
+
+TEST(BinaryLinear, AlphaInitializedToMeanAbsWeight)
+{
+    Rng rng(3);
+    BinaryLinear lin(50, 4, rng);
+    for (std::size_t o = 0; o < 4; ++o) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < 50; ++i)
+            acc += std::fabs(lin.weight().value.at(o, i));
+        EXPECT_NEAR(lin.alpha().value[o], acc / 50.0, 1e-5);
+    }
+}
+
+TEST(BinaryLinear, SteMasksOutlierWeights)
+{
+    Rng rng(4);
+    BinaryLinear lin(2, 1, rng);
+    lin.weight().value = Tensor::fromVector({0.5f, 2.0f}).reshaped({1, 2});
+    lin.alpha().value = Tensor::fromVector({1.0f});
+    Tensor x = Tensor::fromVector({1.0f, 1.0f}).reshaped({1, 2});
+    lin.forward(x, true);
+    lin.weight().zeroGrad();
+    lin.backward(Tensor({1, 1}, 1.0f));
+    EXPECT_NE(lin.weight().grad[0], 0.0f); // |w| <= 1: gradient passes
+    EXPECT_EQ(lin.weight().grad[1], 0.0f); // |w| > 1: clipped
+}
+
+TEST(BinaryLinear, AlphaGradientMatchesNumericUpToFanInScale)
+{
+    // The stored alpha gradient is the true gradient divided by the
+    // fan-in (per-parameter preconditioning for plain SGD).
+    Rng rng(5);
+    BinaryLinear lin(4, 3, rng);
+    Tensor x = Tensor::randn({2, 4}, rng);
+    Tensor probe = Tensor::randn({2, 3}, rng);
+    lin.alpha().zeroGrad();
+    lin.forward(x, true);
+    lin.backward(probe);
+    const float eps = 1e-3f;
+    for (std::size_t j = 0; j < 3; ++j) {
+        const float keep = lin.alpha().value[j];
+        lin.alpha().value[j] = keep + eps;
+        Tensor yp = lin.forward(x, false);
+        lin.alpha().value[j] = keep - eps;
+        Tensor ym = lin.forward(x, false);
+        lin.alpha().value[j] = keep;
+        double num = 0.0;
+        for (std::size_t i = 0; i < yp.size(); ++i)
+            num += (static_cast<double>(yp[i]) - ym[i]) * probe[i];
+        num /= 2.0 * eps;
+        EXPECT_NEAR(lin.alpha().grad[j], num / 4.0, 1e-2);
+    }
+}
+
+TEST(BinaryLinear, InputGradientUsesBinaryWeightsAndAlpha)
+{
+    Rng rng(6);
+    BinaryLinear lin(3, 2, rng);
+    Tensor x = Tensor::randn({1, 3}, rng);
+    lin.forward(x, true);
+    Tensor g({1, 2});
+    g.at(0, 0) = 1.0f;
+    Tensor dx = lin.backward(g);
+    const Tensor wb = lin.signedWeights();
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(dx.at(0, i), lin.alpha().value[0] * wb.at(0, i),
+                    1e-5);
+}
+
+TEST(BinaryConv, MatchesBinaryLinearOn1x1Patches)
+{
+    // A 1x1-image conv degenerates to a linear layer on channels.
+    Rng rng(7);
+    BinaryConv2d conv(4, 3, 1, 1, 0, rng);
+    Tensor x = Tensor::randn({2, 4, 1, 1}, rng);
+    Tensor y = conv.forward(x, false);
+    const Tensor wb = conv.signedWeightMatrix();
+    for (std::size_t n = 0; n < 2; ++n) {
+        for (std::size_t o = 0; o < 3; ++o) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < 4; ++c)
+                acc += x.at(n, c, 0, 0) * wb.at(o, c);
+            acc *= conv.alpha().value[o];
+            EXPECT_NEAR(y.at(n, o, 0, 0), acc, 1e-4);
+        }
+    }
+}
+
+TEST(BinaryConv, SignedWeightMatrixShape)
+{
+    Rng rng(8);
+    BinaryConv2d conv(3, 5, 3, 1, 1, rng);
+    Tensor wb = conv.signedWeightMatrix();
+    EXPECT_EQ(wb.dim(0), 5u);
+    EXPECT_EQ(wb.dim(1), 27u);
+}
+
+TEST(BinaryConv, InputGradientMatchesNumeric)
+{
+    Rng rng(9);
+    BinaryConv2d conv(2, 2, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor out = conv.forward(x, true);
+    Tensor probe = Tensor::randn(out.shape(), rng);
+    Tensor dx = conv.backward(probe);
+    const float eps = 1e-2f;
+    for (std::size_t i = 0; i < 16; ++i) {
+        Tensor xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        // Keep away from sign discontinuities of the input? The conv
+        // binarizes only weights, not inputs, so the map is linear in x.
+        Tensor op = conv.forward(xp, false);
+        Tensor om = conv.forward(xm, false);
+        double num = 0.0;
+        for (std::size_t j = 0; j < op.size(); ++j)
+            num += (static_cast<double>(op[j]) - om[j]) * probe[j];
+        num /= 2.0 * eps;
+        EXPECT_NEAR(dx[i], num, 5e-2);
+    }
+}
+
+TEST(BinaryConv, AlphaGradientAccumulates)
+{
+    Rng rng(10);
+    BinaryConv2d conv(1, 1, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    conv.alpha().zeroGrad();
+    conv.forward(x, true);
+    conv.backward(Tensor({1, 1, 4, 4}, 1.0f));
+    EXPECT_NE(conv.alpha().grad[0], 0.0f);
+}
+
+// --- ReCU ---
+
+TEST(ReCU, QuantileOfKnownVector)
+{
+    Tensor v = Tensor::fromVector({1, 2, 3, 4, 5});
+    EXPECT_FLOAT_EQ(quantile(v, 0.0), 1.0f);
+    EXPECT_FLOAT_EQ(quantile(v, 1.0), 5.0f);
+    EXPECT_FLOAT_EQ(quantile(v, 0.5), 3.0f);
+    EXPECT_FLOAT_EQ(quantile(v, 0.25), 2.0f);
+}
+
+TEST(ReCU, ClampMovesOutliersInward)
+{
+    Rng rng(11);
+    Tensor w = Tensor::randn({1000}, rng);
+    w[0] = 50.0f;
+    w[1] = -50.0f;
+    const auto [lo, hi] = applyReCU(w, 0.95);
+    EXPECT_LE(w.maxValue(), hi);
+    EXPECT_GE(w.minValue(), lo);
+    EXPECT_LT(w.maxValue(), 50.0f);
+    EXPECT_GT(w.minValue(), -50.0f);
+}
+
+TEST(ReCU, InteriorValuesUntouched)
+{
+    Tensor w = Tensor::fromVector({-0.1f, 0.0f, 0.1f, -3.0f, 3.0f});
+    Tensor before = w;
+    applyReCU(w, 0.8);
+    // The middle three elements lie inside the quantile band.
+    EXPECT_FLOAT_EQ(w[0], before[0]);
+    EXPECT_FLOAT_EQ(w[1], before[1]);
+    EXPECT_FLOAT_EQ(w[2], before[2]);
+    EXPECT_LT(w[4], 3.0f);
+}
+
+TEST(ReCU, TauOneIsNoop)
+{
+    Rng rng(12);
+    Tensor w = Tensor::randn({100}, rng);
+    Tensor before = w;
+    applyReCU(w, 1.0);
+    EXPECT_TRUE(w.allClose(before));
+}
+
+TEST(ReCU, ScheduleRampsFromStartToEnd)
+{
+    ReCUSchedule sched(0.85, 0.99);
+    EXPECT_DOUBLE_EQ(sched.tauAt(0, 100), 0.85);
+    EXPECT_NEAR(sched.tauAt(99, 100), 0.99, 1e-12);
+    EXPECT_GT(sched.tauAt(50, 100), 0.85);
+    EXPECT_LT(sched.tauAt(50, 100), 0.99);
+}
+
+class ReCUQuantileSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ReCUQuantileSweep, ClampBoundsMatchQuantiles)
+{
+    Rng rng(13);
+    Tensor w = Tensor::randn({5000}, rng);
+    const double tau = GetParam();
+    const float expect_hi = quantile(w, tau);
+    const float expect_lo = quantile(w, 1.0 - tau);
+    const auto [lo, hi] = applyReCU(w, tau);
+    EXPECT_FLOAT_EQ(hi, expect_hi);
+    EXPECT_FLOAT_EQ(lo, expect_lo);
+    // Roughly 2*(1-tau) of the mass gets clamped on a smooth dist.
+    std::size_t at_bounds = 0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        if (w[i] == lo || w[i] == hi)
+            ++at_bounds;
+    const double frac = static_cast<double>(at_bounds) / w.size();
+    EXPECT_NEAR(frac, 2.0 * (1.0 - tau), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, ReCUQuantileSweep,
+                         ::testing::Values(0.85, 0.9, 0.95, 0.99));

@@ -78,6 +78,21 @@ CrossbarArray::columnSum(std::size_t col,
     return sum;
 }
 
+std::vector<int>
+CrossbarArray::columnSums(const std::vector<int> &activations) const
+{
+    std::vector<int> sums(size_, 0);
+    const std::size_t rows = std::min(activations.size(), size_);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const int a = activations[r];
+        const LimCell *row = &cells[r * size_];
+        for (std::size_t c = 0; c < size_; ++c)
+            if (row[c].active())
+                sums[c] += row[c].multiply(a);
+    }
+    return sums;
+}
+
 double
 CrossbarArray::columnCurrent(std::size_t col,
                              const std::vector<int> &activations) const
@@ -88,9 +103,11 @@ CrossbarArray::columnCurrent(std::size_t col,
 std::vector<int>
 CrossbarArray::evaluate(const std::vector<int> &activations, Rng &rng) const
 {
+    const std::vector<int> sums = columnSums(activations);
     std::vector<int> out(size_);
     for (std::size_t c = 0; c < size_; ++c)
-        out[c] = neurons[c].fire(columnCurrent(c, activations), rng);
+        out[c] = neurons[c].fire(
+            static_cast<double>(sums[c]) * unitCurrent, rng);
     return out;
 }
 
@@ -98,11 +115,12 @@ std::vector<sc::Bitstream>
 CrossbarArray::observe(const std::vector<int> &activations,
                        std::size_t window, Rng &rng) const
 {
+    const std::vector<int> sums = columnSums(activations);
     std::vector<sc::Bitstream> out;
     out.reserve(size_);
     for (std::size_t c = 0; c < size_; ++c)
-        out.push_back(
-            neurons[c].observe(columnCurrent(c, activations), window, rng));
+        out.push_back(neurons[c].observe(
+            static_cast<double>(sums[c]) * unitCurrent, window, rng));
     return out;
 }
 
@@ -110,9 +128,11 @@ std::vector<double>
 CrossbarArray::columnProbabilities(
     const std::vector<int> &activations) const
 {
+    const std::vector<int> sums = columnSums(activations);
     std::vector<double> out(size_);
     for (std::size_t c = 0; c < size_; ++c)
-        out[c] = neurons[c].probOne(columnCurrent(c, activations));
+        out[c] = neurons[c].probOne(
+            static_cast<double>(sums[c]) * unitCurrent);
     return out;
 }
 

@@ -72,6 +72,13 @@ class CrossbarArray
     int columnSum(std::size_t col,
                   const std::vector<int> &activations) const;
 
+    /**
+     * All column sums in one row-major pass over the cell array
+     * (cache-friendly, unlike per-column strided reads); feeds
+     * evaluate/observe/columnProbabilities.
+     */
+    std::vector<int> columnSums(const std::vector<int> &activations) const;
+
     /** One stochastic binarized readout of every column: +/-1 each. */
     std::vector<int> evaluate(const std::vector<int> &activations,
                               Rng &rng) const;

@@ -23,11 +23,8 @@ sc::Bitstream
 NeuronCircuit::observe(double current_ua, std::size_t window,
                        Rng &rng) const
 {
-    sc::Bitstream out(window);
-    const double p = model.probOne(current_ua);
-    for (std::size_t i = 0; i < window; ++i)
-        out.setBit(i, rng.bernoulli(p));
-    return out;
+    return sc::Bitstream::bernoulli(window, model.probOne(current_ua),
+                                    rng);
 }
 
 } // namespace superbnn::crossbar

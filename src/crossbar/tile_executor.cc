@@ -35,11 +35,10 @@ TileExecutor::forward(const MappedLayer &layer,
         }
         const std::size_t c0 = ct * layer.cs;
         const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        std::vector<const sc::Bitstream *> column(layer.rowTiles);
         for (std::size_t c = 0; c < cols; ++c) {
-            std::vector<sc::Bitstream> column;
-            column.reserve(layer.rowTiles);
             for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column.push_back(streams[rt][c]);
+                column[rt] = &streams[rt][c];
             out[c0 + c] = accum.accumulate(column);
         }
     }
@@ -68,11 +67,10 @@ TileExecutor::forwardDecoded(const MappedLayer &layer,
         }
         const std::size_t c0 = ct * layer.cs;
         const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        std::vector<const sc::Bitstream *> column(layer.rowTiles);
         for (std::size_t c = 0; c < cols; ++c) {
-            std::vector<sc::Bitstream> column;
-            column.reserve(layer.rowTiles);
             for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column.push_back(streams[rt][c]);
+                column[rt] = &streams[rt][c];
             out[c0 + c] = accum.decodedSum(column);
         }
     }
@@ -93,8 +91,10 @@ TileExecutor::latentSums(const MappedLayer &layer,
             const std::size_t rows = std::min(layer.cs, layer.fanIn - r0);
             std::vector<int> slice(activations.begin() + r0,
                                    activations.begin() + r0 + rows);
+            const std::vector<int> sums =
+                layer.tile(rt, ct).columnSums(slice);
             for (std::size_t c = 0; c < cols; ++c)
-                out[c0 + c] += layer.tile(rt, ct).columnSum(c, slice);
+                out[c0 + c] += sums[c];
         }
     }
     for (std::size_t o = 0; o < layer.fanOut; ++o)

@@ -16,19 +16,30 @@ AccumulationModule::AccumulationModule(std::size_t crossbars,
 }
 
 std::size_t
-AccumulationModule::rawCount(const std::vector<Bitstream> &streams) const
+AccumulationModule::rawCount(
+    const std::vector<const Bitstream *> &streams) const
 {
     assert(streams.size() == crossbars_);
-    std::size_t total = 0;
-    std::vector<std::uint8_t> slice(crossbars_);
-    for (std::size_t l = 0; l < window_; ++l) {
-        for (std::size_t t = 0; t < crossbars_; ++t) {
-            assert(streams[t].length() == window_);
-            slice[t] = streams[t].bit(l);
-        }
-        total += useExact ? exact.count(slice) : approx.count(slice);
-    }
-    return total;
+#ifndef NDEBUG
+    for (const Bitstream *s : streams)
+        assert(s->length() == window_);
+#endif
+    // The APC is applied per clock cycle, but both counters are
+    // cycle-separable given the fixed input pairing, so the window total
+    // is computed word-at-a-time on the packed streams instead of
+    // transposing into per-cycle byte slices.
+    return useExact ? exact.countStreams(streams)
+                    : approx.countStreams(streams);
+}
+
+std::size_t
+AccumulationModule::rawCount(const std::vector<Bitstream> &streams) const
+{
+    std::vector<const Bitstream *> borrowed;
+    borrowed.reserve(streams.size());
+    for (const Bitstream &s : streams)
+        borrowed.push_back(&s);
+    return rawCount(borrowed);
 }
 
 double
@@ -45,25 +56,52 @@ AccumulationModule::apcBiasPerCycle() const
 }
 
 int
-AccumulationModule::accumulate(const std::vector<Bitstream> &streams,
-                               double reference_offset) const
+AccumulationModule::decideFromCount(std::size_t raw_count,
+                                    double reference_offset) const
 {
-    const double count = static_cast<double>(rawCount(streams));
     const double ref = static_cast<double>(crossbars_ * window_) / 2.0
         - apcBiasPerCycle() * static_cast<double>(window_)
         + reference_offset;
-    return count >= ref ? +1 : -1;
+    return static_cast<double>(raw_count) >= ref ? +1 : -1;
 }
 
 double
-AccumulationModule::decodedSum(const std::vector<Bitstream> &streams) const
+AccumulationModule::decodeFromCount(std::size_t raw_count) const
 {
-    const double count = static_cast<double>(rawCount(streams))
+    const double count = static_cast<double>(raw_count)
         + apcBiasPerCycle() * static_cast<double>(window_);
     const double tl = static_cast<double>(crossbars_ * window_);
     // Bipolar decode of the aggregate: each bit contributes +/-1 scaled to
     // the per-crossbar value range, so the sum spans [-T, +T].
     return (2.0 * count - tl) / static_cast<double>(window_);
+}
+
+int
+AccumulationModule::accumulate(const std::vector<Bitstream> &streams,
+                               double reference_offset) const
+{
+    return decideFromCount(rawCount(streams), reference_offset);
+}
+
+int
+AccumulationModule::accumulate(
+    const std::vector<const Bitstream *> &streams,
+    double reference_offset) const
+{
+    return decideFromCount(rawCount(streams), reference_offset);
+}
+
+double
+AccumulationModule::decodedSum(const std::vector<Bitstream> &streams) const
+{
+    return decodeFromCount(rawCount(streams));
+}
+
+double
+AccumulationModule::decodedSum(
+    const std::vector<const Bitstream *> &streams) const
+{
+    return decodeFromCount(rawCount(streams));
 }
 
 aqfp::NetlistSummary

@@ -55,8 +55,20 @@ class AccumulationModule
     int accumulate(const std::vector<Bitstream> &streams,
                    double reference_offset = 0.0) const;
 
+    /**
+     * Copy-free variant over borrowed streams: the tile executor gathers
+     * one column across row tiles as pointers instead of copying each
+     * bitstream.
+     */
+    int accumulate(const std::vector<const Bitstream *> &streams,
+                   double reference_offset = 0.0) const;
+
     /** Total ones-count over the window (before comparison). */
     std::size_t rawCount(const std::vector<Bitstream> &streams) const;
+
+    /** Copy-free variant of rawCount over borrowed streams. */
+    std::size_t
+    rawCount(const std::vector<const Bitstream *> &streams) const;
 
     /**
      * Expected per-cycle undercount of the approximate APC around the
@@ -67,6 +79,10 @@ class AccumulationModule
 
     /** The bipolar value implied by the raw count, in [-T, +T]. */
     double decodedSum(const std::vector<Bitstream> &streams) const;
+
+    /** Copy-free variant of decodedSum over borrowed streams. */
+    double
+    decodedSum(const std::vector<const Bitstream *> &streams) const;
 
     /** Gate inventory: APC + accumulator + comparator, for JJ accounting. */
     aqfp::NetlistSummary netlist() const;
@@ -81,6 +97,12 @@ class AccumulationModule
     bool useExact;
     ParallelCounter exact;
     ApproxParallelCounter approx;
+
+    /** Comparator decision for a window-total ones count. */
+    int decideFromCount(std::size_t raw_count,
+                        double reference_offset) const;
+    /** Bipolar decode of a window-total ones count. */
+    double decodeFromCount(std::size_t raw_count) const;
 };
 
 } // namespace superbnn::sc

@@ -22,6 +22,17 @@ ParallelCounter::count(const std::vector<std::uint8_t> &bits) const
     return ones;
 }
 
+std::size_t
+ParallelCounter::countStreams(
+    const std::vector<const Bitstream *> &streams) const
+{
+    assert(streams.size() == inputs_);
+    std::size_t ones = 0;
+    for (const Bitstream *s : streams)
+        ones += s->popcount();
+    return ones;
+}
+
 aqfp::NetlistSummary
 ParallelCounter::netlist() const
 {
@@ -67,6 +78,32 @@ ApproxParallelCounter::count(const std::vector<std::uint8_t> &bits) const
     }
     if (inputs_ % 2 == 1)
         ones += bits.back();
+    return ones;
+}
+
+std::size_t
+ApproxParallelCounter::countStreams(
+    const std::vector<const Bitstream *> &streams) const
+{
+    assert(streams.size() == inputs_);
+    std::size_t ones = 0;
+    const std::size_t pairs = inputs_ / 2;
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const Bitstream &a = *streams[2 * p];
+        const Bitstream &b = *streams[2 * p + 1];
+        assert(a.length() == b.length());
+        if (p < droppedPairs_) {
+            // Carry path dropped: each cycle contributes (a | b).
+            const auto &wa = a.words();
+            const auto &wb = b.words();
+            for (std::size_t w = 0; w < wa.size(); ++w)
+                ones += detail::popcountWord(wa[w] | wb[w]);
+        } else {
+            ones += a.popcount() + b.popcount();
+        }
+    }
+    if (inputs_ % 2 == 1)
+        ones += streams.back()->popcount();
     return ones;
 }
 

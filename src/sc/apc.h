@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "aqfp/cell_library.h"
+#include "sc/bitstream.h"
 
 namespace superbnn::sc {
 
@@ -31,6 +32,16 @@ class ParallelCounter
 
     /** Count ones in @p bits (size must equal inputs()). */
     std::size_t count(const std::vector<std::uint8_t> &bits) const;
+
+    /**
+     * Total ones counted over a whole observation window at once: input
+     * t's per-cycle bit is streams[t]->bit(l). Equivalent to summing
+     * count() over every cycle slice, but runs word-at-a-time on the
+     * packed streams (the exact counter is cycle-separable, so this is
+     * just the sum of stream popcounts).
+     */
+    std::size_t
+    countStreams(const std::vector<const Bitstream *> &streams) const;
 
     std::size_t inputs() const { return inputs_; }
 
@@ -67,6 +78,15 @@ class ApproxParallelCounter
 
     /** Approximate ones-count of @p bits. */
     std::size_t count(const std::vector<std::uint8_t> &bits) const;
+
+    /**
+     * Window-total approximate count on packed streams: dropped pairs
+     * contribute popcount(a | b) word-wise (the OR pre-combine applied
+     * every cycle), kept inputs contribute their plain popcounts.
+     * Equivalent to summing count() over every cycle slice.
+     */
+    std::size_t
+    countStreams(const std::vector<const Bitstream *> &streams) const;
 
     /** Upper bound on the undercount for any input. */
     std::size_t maxUndercount() const { return droppedPairs_; }

@@ -1,62 +1,193 @@
 #include "sc/bitstream.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace superbnn::sc {
 
-Bitstream::Bitstream(std::size_t length) : bits_(length, 0) {}
+namespace {
 
-Bitstream::Bitstream(std::vector<std::uint8_t> bits) : bits_(std::move(bits))
+using detail::popcountWord;
+
+inline std::size_t
+wordsFor(std::size_t length)
 {
-    for (auto b : bits_)
-        assert(b == 0 || b == 1);
+    return (length + Bitstream::kWordBits - 1) / Bitstream::kWordBits;
+}
+
+} // namespace
+
+Bitstream::Bitstream(std::size_t length)
+    : length_(length), words_(wordsFor(length), 0)
+{
+}
+
+Bitstream::Bitstream(const std::vector<std::uint8_t> &bits)
+    : length_(bits.size()), words_(wordsFor(bits.size()), 0)
+{
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] > 1)
+            throw std::invalid_argument(
+                "Bitstream: bit value must be 0 or 1");
+        words_[i / kWordBits] |= static_cast<std::uint64_t>(bits[i])
+            << (i % kWordBits);
+    }
+}
+
+Bitstream
+Bitstream::fromWords(std::vector<std::uint64_t> words, std::size_t length)
+{
+    if (words.size() != wordsFor(length))
+        throw std::invalid_argument(
+            "Bitstream::fromWords: word count does not match length");
+    Bitstream out;
+    out.length_ = length;
+    out.words_ = std::move(words);
+    out.maskTail();
+    return out;
+}
+
+Bitstream
+Bitstream::bernoulli(std::size_t length, double p, Rng &rng)
+{
+    Bitstream out(length);
+    if (length == 0 || p <= 0.0)
+        return out;
+    if (p >= 1.0) {
+        std::fill(out.words_.begin(), out.words_.end(), ~std::uint64_t{0});
+        out.maskTail();
+        return out;
+    }
+    // Fixed-point threshold: a raw 64-bit draw is below p * 2^64 with
+    // probability p (to within 2^-64, far below the stream's own
+    // sampling noise). p is strictly inside (0,1) here, so the product
+    // stays below 2^64 and the cast is well defined.
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(std::ldexp(p, 64));
+    auto &engine = rng.raw();
+    const std::size_t full = length / kWordBits;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < kWordBits; ++b)
+            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
+        out.words_[w] = word;
+    }
+    const std::size_t tail = length % kWordBits;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
+        out.words_[full] = word;
+    }
+    return out;
+}
+
+std::uint64_t
+Bitstream::tailMask() const
+{
+    const std::size_t tail = length_ % kWordBits;
+    return tail == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail) - 1;
+}
+
+void
+Bitstream::maskTail()
+{
+    if (!words_.empty())
+        words_.back() &= tailMask();
+}
+
+void
+Bitstream::requireSameLength(const Bitstream &other) const
+{
+    if (length_ != other.length_)
+        throw std::invalid_argument(
+            "Bitstream: operand lengths differ");
 }
 
 std::size_t
 Bitstream::popcount() const
 {
-    return static_cast<std::size_t>(
-        std::count(bits_.begin(), bits_.end(), 1));
+    std::size_t ones = 0;
+    for (const std::uint64_t w : words_)
+        ones += popcountWord(w);
+    return ones;
 }
 
 double
 Bitstream::decode(Encoding enc) const
 {
-    assert(!bits_.empty());
+    if (length_ == 0)
+        return 0.0;
     const double p = static_cast<double>(popcount())
-        / static_cast<double>(bits_.size());
+        / static_cast<double>(length_);
     return enc == Encoding::Unipolar ? p : 2.0 * p - 1.0;
 }
 
 Bitstream
 Bitstream::xnorWith(const Bitstream &other) const
 {
-    assert(length() == other.length());
-    Bitstream out(length());
-    for (std::size_t i = 0; i < length(); ++i)
-        out.bits_[i] = (bits_[i] == other.bits_[i]) ? 1 : 0;
+    requireSameLength(other);
+    Bitstream out(length_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = ~(words_[w] ^ other.words_[w]);
+    out.maskTail();
     return out;
 }
 
 Bitstream
 Bitstream::andWith(const Bitstream &other) const
 {
-    assert(length() == other.length());
-    Bitstream out(length());
-    for (std::size_t i = 0; i < length(); ++i)
-        out.bits_[i] = (bits_[i] & other.bits_[i]);
+    requireSameLength(other);
+    Bitstream out(length_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = words_[w] & other.words_[w];
     return out;
+}
+
+std::size_t
+Bitstream::xnorPopcount(const Bitstream &other) const
+{
+    requireSameLength(other);
+    if (words_.empty())
+        return 0;
+    std::size_t ones = 0;
+    const std::size_t last = words_.size() - 1;
+    for (std::size_t w = 0; w < last; ++w)
+        ones += popcountWord(~(words_[w] ^ other.words_[w]));
+    ones += popcountWord(~(words_[last] ^ other.words_[last])
+                         & tailMask());
+    return ones;
+}
+
+std::size_t
+Bitstream::andPopcount(const Bitstream &other) const
+{
+    requireSameLength(other);
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        ones += popcountWord(words_[w] & other.words_[w]);
+    return ones;
 }
 
 std::string
 Bitstream::toString() const
 {
     std::string s;
-    s.reserve(length());
-    for (auto b : bits_)
-        s.push_back(b ? '1' : '0');
+    s.reserve(length_);
+    for (std::size_t i = 0; i < length_; ++i)
+        s.push_back(bit(i) ? '1' : '0');
     return s;
+}
+
+std::vector<std::uint8_t>
+Bitstream::bits() const
+{
+    std::vector<std::uint8_t> out(length_);
+    for (std::size_t i = 0; i < length_; ++i)
+        out[i] = bit(i);
+    return out;
 }
 
 double
@@ -69,11 +200,7 @@ onesProbability(double value, Encoding enc)
 Bitstream
 encode(double value, std::size_t length, Encoding enc, Rng &rng)
 {
-    const double p = onesProbability(value, enc);
-    Bitstream out(length);
-    for (std::size_t i = 0; i < length; ++i)
-        out.setBit(i, rng.bernoulli(p));
-    return out;
+    return Bitstream::bernoulli(length, onesProbability(value, enc), rng);
 }
 
 } // namespace superbnn::sc

@@ -6,11 +6,18 @@
  * bit sequence. Unipolar encoding maps x in [0,1] to P(X=1) = x; bipolar
  * encoding maps x in [-1,1] to P(X=1) = (x+1)/2. SupeRBNN uses bipolar
  * streams generated for free by the AQFP buffer's randomized switching.
+ *
+ * Storage is word-packed: 64 bits per std::uint64_t, least-significant bit
+ * first, with the unused tail bits of the last word held at zero (the tail
+ * invariant). All bulk operations — XNOR, AND, popcount, decode, Bernoulli
+ * generation — run word-at-a-time, which is what makes the crossbar
+ * executor's observe/accumulate hot path fast.
  */
 
 #ifndef SUPERBNN_SC_BITSTREAM_H
 #define SUPERBNN_SC_BITSTREAM_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -20,6 +27,26 @@
 
 namespace superbnn::sc {
 
+namespace detail {
+
+/** Portable 64-bit popcount (hardware popcnt under GCC/Clang). */
+inline std::size_t
+popcountWord(std::uint64_t w)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+#else
+    std::size_t n = 0;
+    while (w) {
+        w &= w - 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace detail
+
 /** Encoding convention of a stochastic bitstream. */
 enum class Encoding
 {
@@ -28,26 +55,79 @@ enum class Encoding
 };
 
 /**
- * A fixed-length stochastic bitstream.
+ * A fixed-length stochastic bitstream, packed 64 bits per word.
+ *
+ * Bit i lives at words()[i / 64], bit position i % 64. Bits at positions
+ * >= length() in the last word are always zero, so popcount() and the
+ * word-wise combinators never need per-bit fixups except the single tail
+ * mask after operations (XNOR) that can turn tail zeros into ones.
  */
 class Bitstream
 {
   public:
+    /** Bits per storage word. */
+    static constexpr std::size_t kWordBits = 64;
+
     /** All-zero stream of the given length. */
     explicit Bitstream(std::size_t length = 0);
 
-    /** Build from explicit bits (each must be 0 or 1). */
-    explicit Bitstream(std::vector<std::uint8_t> bits);
+    /**
+     * Build from explicit bits. Every element must be 0 or 1; anything
+     * else throws std::invalid_argument (a stray 2 must not silently
+     * corrupt popcount/decode in release builds).
+     */
+    explicit Bitstream(const std::vector<std::uint8_t> &bits);
 
-    std::size_t length() const { return bits_.size(); }
+    /**
+     * Adopt pre-packed words. @p words must hold exactly
+     * ceil(length / 64) entries; tail bits beyond @p length are masked
+     * off. Throws std::invalid_argument on a word-count mismatch.
+     */
+    static Bitstream fromWords(std::vector<std::uint64_t> words,
+                               std::size_t length);
 
-    std::uint8_t bit(std::size_t i) const { return bits_[i]; }
-    void setBit(std::size_t i, bool value) { bits_[i] = value ? 1 : 0; }
+    /**
+     * I.i.d. Bernoulli(p) stream of the given length, generated a word
+     * at a time: each 64-bit word is filled from a batch of raw RNG
+     * draws compared against a fixed-point threshold, avoiding the
+     * per-bit distribution-object overhead of Rng::bernoulli.
+     */
+    static Bitstream bernoulli(std::size_t length, double p, Rng &rng);
 
-    /** Number of ones in the stream. */
+    std::size_t length() const { return length_; }
+
+    /** Number of storage words, ceil(length / 64). */
+    std::size_t wordCount() const { return words_.size(); }
+
+    std::uint8_t
+    bit(std::size_t i) const
+    {
+        assert(i < length_);
+        return static_cast<std::uint8_t>(
+            (words_[i / kWordBits] >> (i % kWordBits)) & 1u);
+    }
+
+    void
+    setBit(std::size_t i, bool value)
+    {
+        // Tail-range indices would silently break the zero-tail
+        // invariant that popcount/decode rely on.
+        assert(i < length_);
+        const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+        if (value)
+            words_[i / kWordBits] |= mask;
+        else
+            words_[i / kWordBits] &= ~mask;
+    }
+
+    /** Number of ones in the stream (word-wise popcount). */
     std::size_t popcount() const;
 
-    /** Value under the given encoding (4/10 ones -> 0.4 or -0.2). */
+    /**
+     * Value under the given encoding (4/10 ones -> 0.4 or -0.2).
+     * An empty stream decodes to 0.0 under either encoding (defined
+     * behavior; the old code divided by zero in release builds).
+     */
     double decode(Encoding enc) const;
 
     /** Elementwise XNOR: bipolar stochastic multiplication. */
@@ -56,13 +136,32 @@ class Bitstream
     /** Elementwise AND: unipolar stochastic multiplication. */
     Bitstream andWith(const Bitstream &other) const;
 
+    /**
+     * popcount(xnorWith(other)) without materializing the product
+     * stream — the inner loop of bipolar SC multiplication.
+     */
+    std::size_t xnorPopcount(const Bitstream &other) const;
+
+    /** popcount(andWith(other)) without materializing the product. */
+    std::size_t andPopcount(const Bitstream &other) const;
+
     /** "0100110100"-style string for diagnostics. */
     std::string toString() const;
 
-    const std::vector<std::uint8_t> &bits() const { return bits_; }
+    /** Unpacked byte-per-bit copy (compatibility / diagnostics view). */
+    std::vector<std::uint8_t> bits() const;
+
+    /** The packed words, LSB-first; tail bits are zero. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
 
   private:
-    std::vector<std::uint8_t> bits_;
+    std::size_t length_ = 0;
+    std::vector<std::uint64_t> words_;
+
+    /** Mask selecting the in-range bits of the last word. */
+    std::uint64_t tailMask() const;
+    void maskTail();
+    void requireSameLength(const Bitstream &other) const;
 };
 
 /**

@@ -17,12 +17,15 @@ PureScDotProduct::compute(const std::vector<double> &activations,
     assert(activations.size() == weights.size());
     assert(!activations.empty());
     double total = 0.0;
+    const double len = static_cast<double>(length_);
     for (std::size_t i = 0; i < activations.size(); ++i) {
         const Bitstream a =
             encode(activations[i], length_, Encoding::Bipolar, rng);
         const Bitstream w =
             encode(weights[i], length_, Encoding::Bipolar, rng);
-        total += a.xnorWith(w).decode(Encoding::Bipolar);
+        // Bipolar decode of the XNOR product without materializing it.
+        const std::size_t ones = a.xnorPopcount(w);
+        total += 2.0 * static_cast<double>(ones) / len - 1.0;
     }
     return total;
 }

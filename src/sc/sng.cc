@@ -14,11 +14,7 @@ AqfpStochasticSource::AqfpStochasticSource(aqfp::GrayZoneModel model,
 Bitstream
 AqfpStochasticSource::observe(double iin_ua, Rng &rng) const
 {
-    Bitstream out(window_);
-    const double p = model_.probOne(iin_ua);
-    for (std::size_t i = 0; i < window_; ++i)
-        out.setBit(i, rng.bernoulli(p));
-    return out;
+    return Bitstream::bernoulli(window_, model_.probOne(iin_ua), rng);
 }
 
 double

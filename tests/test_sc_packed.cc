@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Differential tests of the word-packed Bitstream against a naive
+ * byte-per-bit reference model: xnor/and/popcount/decode at lengths that
+ * are not multiples of 64 (exercising the tail mask), the word-level
+ * accessors, the batched Bernoulli generator, and the defined error
+ * behavior of the byte constructor and empty decode().
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/accumulation.h"
+#include "sc/apc.h"
+#include "sc/bitstream.h"
+
+using namespace superbnn;
+using namespace superbnn::sc;
+
+namespace {
+
+/** Naive byte-per-bit reference used to check the packed operations. */
+struct ByteRef
+{
+    std::vector<std::uint8_t> bits;
+
+    static ByteRef
+    random(std::size_t length, double p, Rng &rng)
+    {
+        ByteRef out;
+        out.bits.resize(length);
+        for (auto &b : out.bits)
+            b = rng.bernoulli(p) ? 1 : 0;
+        return out;
+    }
+
+    std::size_t
+    popcount() const
+    {
+        std::size_t ones = 0;
+        for (auto b : bits)
+            ones += b;
+        return ones;
+    }
+
+    ByteRef
+    xnorWith(const ByteRef &o) const
+    {
+        ByteRef out;
+        out.bits.resize(bits.size());
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            out.bits[i] = bits[i] == o.bits[i] ? 1 : 0;
+        return out;
+    }
+
+    ByteRef
+    andWith(const ByteRef &o) const
+    {
+        ByteRef out;
+        out.bits.resize(bits.size());
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            out.bits[i] = bits[i] & o.bits[i];
+        return out;
+    }
+
+    double
+    decode(Encoding enc) const
+    {
+        const double p = static_cast<double>(popcount())
+            / static_cast<double>(bits.size());
+        return enc == Encoding::Unipolar ? p : 2.0 * p - 1.0;
+    }
+};
+
+/** Lengths around the word boundary plus a long non-multiple-of-64 one. */
+const std::size_t kLengths[] = {1, 63, 64, 65, 127, 128, 129, 1000};
+
+class PackedDifferential : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PackedDifferential, MatchesByteReference)
+{
+    const std::size_t len = GetParam();
+    Rng rng(100 + len);
+    for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        const ByteRef ra = ByteRef::random(len, p, rng);
+        const ByteRef rb = ByteRef::random(len, 1.0 - p / 2.0, rng);
+        const Bitstream a(ra.bits);
+        const Bitstream b(rb.bits);
+
+        EXPECT_EQ(a.length(), len);
+        EXPECT_EQ(a.popcount(), ra.popcount());
+        EXPECT_EQ(b.popcount(), rb.popcount());
+        EXPECT_NEAR(a.decode(Encoding::Unipolar),
+                    ra.decode(Encoding::Unipolar), 1e-12);
+        EXPECT_NEAR(a.decode(Encoding::Bipolar),
+                    ra.decode(Encoding::Bipolar), 1e-12);
+
+        const ByteRef rx = ra.xnorWith(rb);
+        const Bitstream x = a.xnorWith(b);
+        EXPECT_EQ(x.length(), len);
+        EXPECT_EQ(x.popcount(), rx.popcount());
+        EXPECT_EQ(x.bits(), rx.bits);
+        EXPECT_EQ(a.xnorPopcount(b), rx.popcount());
+
+        const ByteRef rn = ra.andWith(rb);
+        const Bitstream n = a.andWith(b);
+        EXPECT_EQ(n.popcount(), rn.popcount());
+        EXPECT_EQ(n.bits(), rn.bits);
+        EXPECT_EQ(a.andPopcount(b), rn.popcount());
+    }
+}
+
+TEST_P(PackedDifferential, BitAccessorsRoundTrip)
+{
+    const std::size_t len = GetParam();
+    Rng rng(200 + len);
+    const ByteRef ref = ByteRef::random(len, 0.4, rng);
+    Bitstream s(len);
+    for (std::size_t i = 0; i < len; ++i)
+        s.setBit(i, ref.bits[i] != 0);
+    for (std::size_t i = 0; i < len; ++i)
+        EXPECT_EQ(s.bit(i), ref.bits[i]) << "bit " << i;
+    EXPECT_EQ(s.bits(), ref.bits);
+    EXPECT_EQ(s.popcount(), ref.popcount());
+    // Clearing every set bit must return the stream to all-zero words.
+    for (std::size_t i = 0; i < len; ++i)
+        s.setBit(i, false);
+    EXPECT_EQ(s.popcount(), 0u);
+    for (const std::uint64_t w : s.words())
+        EXPECT_EQ(w, 0u);
+}
+
+TEST_P(PackedDifferential, XnorTailStaysMasked)
+{
+    // XNOR turns the zero tail of both operands into ones; the result's
+    // tail must be masked back to zero or popcount/decode corrupt.
+    const std::size_t len = GetParam();
+    const Bitstream zeros(len);
+    const Bitstream product = zeros.xnorWith(zeros);
+    EXPECT_EQ(product.popcount(), len);
+    EXPECT_NEAR(product.decode(Encoding::Unipolar), 1.0, 1e-12);
+    ASSERT_FALSE(product.words().empty());
+    if (len % Bitstream::kWordBits != 0) {
+        const std::uint64_t tail_bits =
+            product.words().back() >> (len % Bitstream::kWordBits);
+        EXPECT_EQ(tail_bits, 0u);
+    }
+}
+
+TEST_P(PackedDifferential, AccumulationMatchesSliceReference)
+{
+    // The word-wise APC window totals must equal the per-cycle slice
+    // evaluation for both the exact and the approximate counter.
+    const std::size_t window = GetParam();
+    const std::size_t tiles = 5; // odd: exercises the unpaired input
+    Rng rng(300 + window);
+    std::vector<Bitstream> streams;
+    std::vector<ByteRef> refs;
+    for (std::size_t t = 0; t < tiles; ++t) {
+        refs.push_back(ByteRef::random(window, 0.3 + 0.1 * t, rng));
+        streams.push_back(Bitstream(refs.back().bits));
+    }
+    for (const bool exact : {true, false}) {
+        const AccumulationModule mod(tiles, window, exact, 0.5);
+        const ParallelCounter pc(tiles);
+        const ApproxParallelCounter apc(tiles, 0.5);
+        std::size_t expected = 0;
+        std::vector<std::uint8_t> slice(tiles);
+        for (std::size_t l = 0; l < window; ++l) {
+            for (std::size_t t = 0; t < tiles; ++t)
+                slice[t] = refs[t].bits[l];
+            expected += exact ? pc.count(slice) : apc.count(slice);
+        }
+        EXPECT_EQ(mod.rawCount(streams), expected)
+            << (exact ? "exact" : "approx") << " window " << window;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PackedDifferential,
+                         ::testing::ValuesIn(kLengths));
+
+TEST(PackedBitstream, WordsViewAndFromWords)
+{
+    Bitstream s(70);
+    s.setBit(0, true);
+    s.setBit(63, true);
+    s.setBit(64, true);
+    s.setBit(69, true);
+    ASSERT_EQ(s.wordCount(), 2u);
+    EXPECT_EQ(s.words()[0],
+              (std::uint64_t{1} << 63) | std::uint64_t{1});
+    EXPECT_EQ(s.words()[1], (std::uint64_t{1} << 5) | std::uint64_t{1});
+
+    const Bitstream r = Bitstream::fromWords(
+        {~std::uint64_t{0}, ~std::uint64_t{0}}, 70);
+    EXPECT_EQ(r.popcount(), 70u); // tail of the second word masked off
+    EXPECT_THROW(Bitstream::fromWords({0}, 70), std::invalid_argument);
+}
+
+TEST(PackedBitstream, ByteConstructorRejectsNonBits)
+{
+    // Release builds used to accept a stray 2 and silently corrupt
+    // popcount/decode; the constructor must throw instead.
+    EXPECT_THROW(Bitstream({0, 1, 2}), std::invalid_argument);
+    EXPECT_THROW(Bitstream(std::vector<std::uint8_t>{255}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(Bitstream({0, 1, 1, 0}));
+}
+
+TEST(PackedBitstream, EmptyStreamDecodeIsDefined)
+{
+    // Previously divide-by-zero in release builds; now defined as 0.0.
+    const Bitstream empty;
+    EXPECT_EQ(empty.length(), 0u);
+    EXPECT_EQ(empty.popcount(), 0u);
+    EXPECT_DOUBLE_EQ(empty.decode(Encoding::Unipolar), 0.0);
+    EXPECT_DOUBLE_EQ(empty.decode(Encoding::Bipolar), 0.0);
+}
+
+TEST(PackedBitstream, MismatchedLengthsThrow)
+{
+    const Bitstream a(10), b(11);
+    EXPECT_THROW(a.xnorWith(b), std::invalid_argument);
+    EXPECT_THROW(a.andWith(b), std::invalid_argument);
+    EXPECT_THROW(a.xnorPopcount(b), std::invalid_argument);
+    EXPECT_THROW(a.andPopcount(b), std::invalid_argument);
+}
+
+TEST(PackedBitstream, BernoulliBatchStatistics)
+{
+    Rng rng(42);
+    for (double p : {0.0, 0.25, 0.7, 1.0}) {
+        const Bitstream s = Bitstream::bernoulli(100000, p, rng);
+        EXPECT_NEAR(s.decode(Encoding::Unipolar), p, 0.01) << "p=" << p;
+    }
+    // Tail invariant also holds for generated streams.
+    const Bitstream t = Bitstream::bernoulli(65, 1.0, rng);
+    EXPECT_EQ(t.popcount(), 65u);
+    EXPECT_EQ(t.words().back() >> 1, 0u);
+}
+
+TEST(PackedBitstream, ToStringMatchesBits)
+{
+    const Bitstream s(std::vector<std::uint8_t>{1, 0, 1, 1, 0});
+    EXPECT_EQ(s.toString(), "10110");
+}
+
+} // namespace

@@ -111,7 +111,9 @@ BM_TileExecutorForward(benchmark::State &state)
     for (std::size_t i = 0; i < w.size(); ++i)
         w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
     crossbar::MappedLayer layer = mapper.map(w);
-    const crossbar::TileExecutor exec(window);
+    // threads pinned to 1: this is the sequential kernel baseline (the
+    // threaded sweep lives in BM_TileExecutorForwardBatch).
+    const crossbar::TileExecutor exec(window, false, 0.25, 1);
     std::vector<int> acts(128);
     for (auto &a : acts)
         a = rng.bernoulli(0.5) ? 1 : -1;
@@ -119,6 +121,41 @@ BM_TileExecutorForward(benchmark::State &state)
         benchmark::DoNotOptimize(exec.forward(layer, acts, rng));
 }
 BENCHMARK(BM_TileExecutorForward)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_TileExecutorForwardBatch(benchmark::State &state)
+{
+    const std::size_t threads = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch_size =
+        static_cast<std::size_t>(state.range(1));
+    const std::size_t cs = 16;
+    const aqfp::AttenuationModel atten;
+    const crossbar::CrossbarMapper mapper(cs, atten, 2.4);
+    Rng rng(14);
+    Tensor w({64, 128});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    crossbar::MappedLayer layer = mapper.map(w);
+    crossbar::CrossbarMapper::setThresholds(
+        layer, std::vector<double>(64, 0.0));
+    const crossbar::TileExecutor exec(16, false, 0.25, threads);
+    std::vector<std::vector<int>> batch(batch_size,
+                                        std::vector<int>(128));
+    for (auto &sample : batch)
+        for (auto &a : sample)
+            a = rng.bernoulli(0.5) ? 1 : -1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.forward(layer, batch, rng));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_TileExecutorForwardBatch)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({4, 32});
 
 void
 BM_XnorPopcountPacked(benchmark::State &state)
@@ -205,25 +242,125 @@ reportPackedSpeedup()
     }
 }
 
+/**
+ * Self-timed threads x batch sweep of the executor forward path on the
+ * two table workloads. Each configuration runs the same total number of
+ * samples; the speedup column is relative to the sequential
+ * single-sample configuration (threads=1, batch=1), so the table shows
+ * directly what threading and batching buy on the paper's workloads.
+ */
+void
+reportThreadBatchSweep()
+{
+    using clock = std::chrono::steady_clock;
+    const aqfp::AttenuationModel atten;
+    const std::size_t cs = 16;
+    const std::size_t window = 16;
+    const crossbar::CrossbarMapper mapper(cs, atten, 2.4);
+    Rng rng(15);
+
+    struct Workload
+    {
+        const char *name;
+        std::vector<crossbar::MappedLayer> layers;
+        std::size_t fanIn;
+    };
+
+    auto signedLayer = [&](std::size_t out, std::size_t in) {
+        Tensor w({out, in});
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        crossbar::MappedLayer layer = mapper.map(w);
+        crossbar::CrossbarMapper::setThresholds(
+            layer, std::vector<double>(out, 0.0));
+        return layer;
+    };
+
+    std::vector<Workload> workloads;
+    {
+        // Table 3's MNIST MLP (784-64-10 as trained by table3_mnist).
+        Workload mlp{"table3 MNIST MLP 784-64-10", {}, 784};
+        mlp.layers.push_back(signedLayer(64, 784));
+        mlp.layers.push_back(signedLayer(10, 64));
+        workloads.push_back(std::move(mlp));
+    }
+    {
+        // One CIFAR conv layer of table2's CNN as the crossbar sees it:
+        // a 3x3, 16->16 channel filter bank is a (16, 144) mapped layer
+        // driven once per spatial position; batching turns the
+        // positions of many samples into one executor pass.
+        Workload conv{"table2 CIFAR conv3x3 16ch (patch rows)", {}, 144};
+        conv.layers.push_back(signedLayer(16, 144));
+        workloads.push_back(std::move(conv));
+    }
+
+    const std::size_t total_samples = 64;
+    for (const Workload &wl : workloads) {
+        std::printf("\n==== executor threads x batch: %s "
+                    "(Cs=%zu, L=%zu) ====\n",
+                    wl.name, cs, window);
+        std::printf("%8s %6s %12s %9s\n", "threads", "batch",
+                    "samples/s", "speedup");
+        double base_rate = 0.0;
+        for (const std::size_t threads : {1u, 2u, 4u}) {
+            for (const std::size_t batch_size : {1u, 8u, 32u}) {
+                if (threads == 1 && batch_size == 32)
+                    continue; // redundant row
+                crossbar::TileExecutor exec(window, false, 0.25,
+                                            threads);
+                Rng data_rng(16);
+                std::vector<std::vector<int>> batch(
+                    batch_size, std::vector<int>(wl.fanIn));
+                for (auto &sample : batch)
+                    for (auto &a : sample)
+                        a = data_rng.bernoulli(0.5) ? 1 : -1;
+                const std::size_t reps =
+                    (total_samples + batch_size - 1) / batch_size;
+                const auto t0 = clock::now();
+                for (std::size_t r = 0; r < reps; ++r) {
+                    std::vector<std::vector<int>> acts = batch;
+                    for (const auto &layer : wl.layers)
+                        acts = exec.forward(layer, acts, data_rng);
+                    benchmark::DoNotOptimize(acts);
+                }
+                const double secs =
+                    std::chrono::duration<double>(clock::now() - t0)
+                        .count();
+                const double rate =
+                    static_cast<double>(reps * batch_size) / secs;
+                if (base_rate == 0.0)
+                    base_rate = rate;
+                std::printf("%8zu %6zu %12.1f %8.2fx\n", threads,
+                            batch_size, rate, rate / base_rate);
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // The summary is for full runs only: a --benchmark_filter or
-    // --benchmark_list_tests invocation is driven by tooling that
-    // parses the output (and should not pay for the self-timed sweep).
+    // The summaries are for interactive full runs only: filter/list
+    // invocations and machine-readable output modes (--benchmark_format,
+    // --benchmark_out*) are driven by tooling that parses stdout and
+    // should get neither the extra tables nor the self-timed sweeps.
     bool full_run = true;
     for (int i = 1; i < argc; ++i)
         if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0
-            || std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0)
+            || std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0
+            || std::strncmp(argv[i], "--benchmark_format", 18) == 0
+            || std::strncmp(argv[i], "--benchmark_out", 15) == 0)
             full_run = false;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (full_run)
+    if (full_run) {
         reportPackedSpeedup();
+        reportThreadBatchSweep();
+    }
     return 0;
 }

@@ -37,9 +37,15 @@ main()
     std::printf("\nsoftware accuracy: %.1f%%\n",
                 100.0 * result.finalTestAccuracy);
 
+    // The evaluator runs batched (tiles mapped once per layer, reused
+    // for every sample in an evalBatch chunk) and threads the tile
+    // observations; SUPERBNN_THREADS pins the concurrency.
     std::printf("\n%8s %16s\n", "L", "hardware acc");
     for (std::size_t window : {1u, 4u, 16u, 32u}) {
-        HardwareEvaluator hw(atten, {16, window, 2.4});
+        HardwareConfig hw_cfg;
+        hw_cfg.window = window;
+        hw_cfg.evalBatch = 16;
+        HardwareEvaluator hw(atten, hw_cfg);
         hw.mapMlp(model);
         Rng eval_rng(3);
         std::printf("%8zu %15.1f%%\n", window,

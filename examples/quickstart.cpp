@@ -47,8 +47,18 @@ main()
     std::printf("\nsoftware test accuracy: %.1f%%\n",
                 100.0 * result.finalTestAccuracy);
 
-    // 4-5. Deploy on the simulated AQFP hardware and evaluate.
-    HardwareEvaluator hw(atten, {16, /*window=*/16, 2.4});
+    // 4-5. Deploy on the simulated AQFP hardware and evaluate. The
+    //    evaluator batches evalBatch samples per executor pass (tiles
+    //    are programmed once and reused) and threads the independent
+    //    tile observations; threads = 0 honors SUPERBNN_THREADS, else
+    //    uses all hardware threads. Results are bit-identical at any
+    //    thread count.
+    HardwareConfig hw_cfg;
+    hw_cfg.crossbarSize = 16;
+    hw_cfg.window = 16;
+    hw_cfg.threads = 0;    // auto (SUPERBNN_THREADS env overrides)
+    hw_cfg.evalBatch = 16; // samples per batched executor pass
+    HardwareEvaluator hw(atten, hw_cfg);
     hw.mapMlp(model);
     Rng eval_rng(11);
     const double hw_acc = hw.evaluate(ds.test, 150, eval_rng);

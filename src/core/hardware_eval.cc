@@ -7,7 +7,8 @@ namespace superbnn::core {
 HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
                                      HardwareConfig config)
     : atten(std::move(attenuation)), cfg(config),
-      executor(config.window, config.exactApc, config.dropFraction)
+      executor(config.window, config.exactApc, config.dropFraction,
+               config.threads)
 {
 }
 
@@ -75,114 +76,163 @@ HardwareEvaluator::binarizeInput(const Tensor &sample) const
     return out;
 }
 
-std::vector<double>
-HardwareEvaluator::runMlp(const std::vector<int> &input, Rng &rng) const
+std::vector<std::vector<double>>
+HardwareEvaluator::runMlpBatch(
+    const std::vector<std::vector<int>> &inputs, Rng &rng) const
 {
-    std::vector<int> acts = input;
+    std::vector<std::vector<int>> acts = inputs;
     for (const auto &mc : mapped) {
-        std::vector<int> next = executor.forward(mc.layer, acts, rng);
-        for (std::size_t j = 0; j < next.size(); ++j) {
-            if (mc.flip[j])
-                next[j] = -next[j];
-        }
+        std::vector<std::vector<int>> next =
+            executor.forward(mc.layer, acts, rng);
+        for (auto &sample : next)
+            for (std::size_t j = 0; j < sample.size(); ++j)
+                if (mc.flip[j])
+                    sample[j] = -sample[j];
         acts = std::move(next);
     }
-    std::vector<double> scores =
+    std::vector<std::vector<double>> scores =
         executor.forwardDecoded(headMapped, acts, rng);
-    for (std::size_t j = 0; j < scores.size(); ++j)
-        scores[j] *= headAlpha[j];
+    for (auto &sample : scores)
+        for (std::size_t j = 0; j < sample.size(); ++j)
+            sample[j] *= headAlpha[j];
     return scores;
 }
 
-std::vector<double>
-HardwareEvaluator::runCnn(const std::vector<int> &input, Rng &rng) const
+std::vector<std::vector<double>>
+HardwareEvaluator::runCnnBatch(
+    const std::vector<std::vector<int>> &inputs, Rng &rng) const
 {
-    // Activations held channel-major: acts[c * side * side + y * side + x].
-    std::vector<int> acts = input;
+    // Activations held channel-major per sample:
+    // acts[b][c * side * side + y * side + x]. Every conv layer runs as
+    // ONE batched executor pass over the receptive-field patches of all
+    // samples and all spatial positions — the mapped tiles are walked
+    // once for samples * side * side patches instead of once per patch.
+    const std::size_t samples = inputs.size();
+    std::vector<std::vector<int>> acts = inputs;
     for (const auto &mc : mapped) {
         const std::size_t side = mc.inSide;
         const std::size_t in_ch = mc.inChannels;
         const std::size_t out_ch = mc.outChannels;
-        std::vector<int> conv_out(out_ch * side * side);
-        std::vector<int> patch(in_ch * 9);
-        for (std::size_t y = 0; y < side; ++y) {
-            for (std::size_t x = 0; x < side; ++x) {
-                // Gather the padded 3x3 receptive field (padding rows
-                // are driven with no current -> activation 0).
-                std::size_t p = 0;
-                for (std::size_t c = 0; c < in_ch; ++c) {
-                    for (int ky = -1; ky <= 1; ++ky) {
-                        for (int kx = -1; kx <= 1; ++kx, ++p) {
-                            const int iy = static_cast<int>(y) + ky;
-                            const int ix = static_cast<int>(x) + kx;
-                            if (iy < 0 || ix < 0
-                                || iy >= static_cast<int>(side)
-                                || ix >= static_cast<int>(side)) {
-                                patch[p] = 0;
-                            } else {
-                                patch[p] = acts[(c * side + iy) * side
+        const std::size_t positions = side * side;
+        std::vector<std::vector<int>> patches(
+            samples * positions, std::vector<int>(in_ch * 9));
+        for (std::size_t b = 0; b < samples; ++b) {
+            for (std::size_t y = 0; y < side; ++y) {
+                for (std::size_t x = 0; x < side; ++x) {
+                    // Gather the padded 3x3 receptive field (padding
+                    // rows are driven with no current -> activation 0).
+                    std::vector<int> &patch =
+                        patches[b * positions + y * side + x];
+                    std::size_t p = 0;
+                    for (std::size_t c = 0; c < in_ch; ++c) {
+                        for (int ky = -1; ky <= 1; ++ky) {
+                            for (int kx = -1; kx <= 1; ++kx, ++p) {
+                                const int iy = static_cast<int>(y) + ky;
+                                const int ix = static_cast<int>(x) + kx;
+                                if (iy < 0 || ix < 0
+                                    || iy >= static_cast<int>(side)
+                                    || ix >= static_cast<int>(side)) {
+                                    patch[p] = 0;
+                                } else {
+                                    patch[p] =
+                                        acts[b][(c * side + iy) * side
                                                 + ix];
+                                }
                             }
                         }
                     }
                 }
-                const std::vector<int> outs =
-                    executor.forward(mc.layer, patch, rng);
-                for (std::size_t o = 0; o < out_ch; ++o) {
-                    int v = outs[o];
-                    if (mc.flip[o])
-                        v = -v;
-                    conv_out[(o * side + y) * side + x] = v;
+            }
+        }
+        const std::vector<std::vector<int>> outs =
+            executor.forward(mc.layer, patches, rng);
+        std::vector<std::vector<int>> conv_out(
+            samples, std::vector<int>(out_ch * side * side));
+        for (std::size_t b = 0; b < samples; ++b) {
+            for (std::size_t y = 0; y < side; ++y) {
+                for (std::size_t x = 0; x < side; ++x) {
+                    const std::vector<int> &o_vec =
+                        outs[b * positions + y * side + x];
+                    for (std::size_t o = 0; o < out_ch; ++o) {
+                        int v = o_vec[o];
+                        if (mc.flip[o])
+                            v = -v;
+                        conv_out[b][(o * side + y) * side + x] = v;
+                    }
                 }
             }
         }
         if (mc.pooled) {
             const std::size_t half = side / 2;
-            std::vector<int> pooled(out_ch * half * half);
-            for (std::size_t c = 0; c < out_ch; ++c) {
-                for (std::size_t y = 0; y < half; ++y) {
-                    for (std::size_t x = 0; x < half; ++x) {
-                        int best = -1;
-                        for (int ky = 0; ky < 2; ++ky)
-                            for (int kx = 0; kx < 2; ++kx)
-                                best = std::max(
-                                    best,
-                                    conv_out[(c * side + 2 * y + ky)
-                                                 * side
-                                             + 2 * x + kx]);
-                        pooled[(c * half + y) * half + x] = best;
+            for (std::size_t b = 0; b < samples; ++b) {
+                std::vector<int> pooled(out_ch * half * half);
+                for (std::size_t c = 0; c < out_ch; ++c) {
+                    for (std::size_t y = 0; y < half; ++y) {
+                        for (std::size_t x = 0; x < half; ++x) {
+                            int best = -1;
+                            for (int ky = 0; ky < 2; ++ky)
+                                for (int kx = 0; kx < 2; ++kx)
+                                    best = std::max(
+                                        best,
+                                        conv_out[b]
+                                                [(c * side + 2 * y + ky)
+                                                     * side
+                                                 + 2 * x + kx]);
+                            pooled[(c * half + y) * half + x] = best;
+                        }
                     }
                 }
+                acts[b] = std::move(pooled);
             }
-            acts = std::move(pooled);
         } else {
             acts = std::move(conv_out);
         }
     }
-    std::vector<double> scores =
+    std::vector<std::vector<double>> scores =
         executor.forwardDecoded(headMapped, acts, rng);
-    for (std::size_t j = 0; j < scores.size(); ++j)
-        scores[j] *= headAlpha[j];
+    for (auto &sample : scores)
+        for (std::size_t j = 0; j < sample.size(); ++j)
+            sample[j] *= headAlpha[j];
     return scores;
+}
+
+std::vector<std::vector<double>>
+HardwareEvaluator::classScores(const std::vector<Tensor> &samples,
+                               Rng &rng) const
+{
+    assert(kind != Kind::None && "map a model first");
+    std::vector<std::vector<int>> inputs;
+    inputs.reserve(samples.size());
+    for (const Tensor &s : samples)
+        inputs.push_back(binarizeInput(s));
+    return kind == Kind::Mlp ? runMlpBatch(inputs, rng)
+                             : runCnnBatch(inputs, rng);
 }
 
 std::vector<double>
 HardwareEvaluator::classScores(const Tensor &sample, Rng &rng) const
 {
-    assert(kind != Kind::None && "map a model first");
-    const std::vector<int> input = binarizeInput(sample);
-    return kind == Kind::Mlp ? runMlp(input, rng) : runCnn(input, rng);
+    auto batched = classScores(std::vector<Tensor>{sample}, rng);
+    return std::move(batched[0]);
+}
+
+std::vector<std::size_t>
+HardwareEvaluator::predict(const std::vector<Tensor> &samples,
+                           Rng &rng) const
+{
+    const auto scores = classScores(samples, rng);
+    std::vector<std::size_t> best(scores.size(), 0);
+    for (std::size_t b = 0; b < scores.size(); ++b)
+        for (std::size_t j = 1; j < scores[b].size(); ++j)
+            if (scores[b][j] > scores[b][best[b]])
+                best[b] = j;
+    return best;
 }
 
 std::size_t
 HardwareEvaluator::predict(const Tensor &sample, Rng &rng) const
 {
-    const auto scores = classScores(sample, rng);
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < scores.size(); ++j)
-        if (scores[j] > scores[best])
-            best = j;
-    return best;
+    return predict(std::vector<Tensor>{sample}, rng)[0];
 }
 
 double
@@ -192,10 +242,18 @@ HardwareEvaluator::evaluate(const data::Dataset &dataset,
     const std::size_t count = max_samples == 0
         ? dataset.size()
         : std::min(max_samples, dataset.size());
+    const std::size_t chunk = cfg.evalBatch == 0 ? 1 : cfg.evalBatch;
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < count; ++i) {
-        if (predict(dataset.sample(i), rng) == dataset.labels[i])
-            ++correct;
+    for (std::size_t i = 0; i < count; i += chunk) {
+        const std::size_t n = std::min(chunk, count - i);
+        std::vector<Tensor> samples;
+        samples.reserve(n);
+        for (std::size_t b = 0; b < n; ++b)
+            samples.push_back(dataset.sample(i + b));
+        const std::vector<std::size_t> preds = predict(samples, rng);
+        for (std::size_t b = 0; b < n; ++b)
+            if (preds[b] == dataset.labels[i + b])
+                ++correct;
     }
     return count == 0 ? 0.0
                       : static_cast<double>(correct)

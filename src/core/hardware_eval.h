@@ -30,6 +30,11 @@ struct HardwareConfig
     double deltaIinUa = 2.4;         ///< neuron gray-zone width
     bool exactApc = false;           ///< ablation: exact parallel counter
     double dropFraction = 0.25;      ///< APC approximation level
+    /// Executor concurrency: 1 = sequential, 0 = default (the
+    /// SUPERBNN_THREADS environment variable, else hardware threads).
+    std::size_t threads = 0;
+    /// Samples evaluated per batched executor pass in evaluate().
+    std::size_t evalBatch = 8;
 };
 
 /**
@@ -54,11 +59,35 @@ class HardwareEvaluator
      */
     std::vector<double> classScores(const Tensor &sample, Rng &rng) const;
 
+    /**
+     * Batched class scores: the mapped tiles are walked once per layer
+     * for the whole batch, and tile observations of all samples run as
+     * one parallel phase on the executor's thread pool.
+     *
+     * Each underlying executor call is bit-exact w.r.t. its own
+     * single-sample path, but a multi-layer batched evaluation
+     * consumes the Rng's root draws layer-major (layer 1 for all
+     * samples, then layer 2, ...) while per-sample classScores calls
+     * consume them sample-major — so for networks with more than one
+     * layer the sampled noise is differently (though identically
+     * distributed) assigned and scores are not bitwise equal to N
+     * single calls. Results ARE bit-identical across thread counts for
+     * a fixed batching; only the batch split reassigns noise.
+     */
+    std::vector<std::vector<double>>
+    classScores(const std::vector<Tensor> &samples, Rng &rng) const;
+
     /** Argmax of classScores. */
     std::size_t predict(const Tensor &sample, Rng &rng) const;
 
+    /** Batched argmax of classScores. */
+    std::vector<std::size_t>
+    predict(const std::vector<Tensor> &samples, Rng &rng) const;
+
     /**
-     * Accuracy over (a subset of) a dataset.
+     * Accuracy over (a subset of) a dataset, evaluated in batches of
+     * HardwareConfig::evalBatch samples so programmed tiles are reused
+     * across the batch.
      * @param max_samples cap (0 = all)
      */
     double evaluate(const data::Dataset &dataset, std::size_t max_samples,
@@ -100,10 +129,12 @@ class HardwareEvaluator
     std::vector<float> headAlpha;
 
     std::vector<int> binarizeInput(const Tensor &sample) const;
-    std::vector<double> runMlp(const std::vector<int> &input,
-                               Rng &rng) const;
-    std::vector<double> runCnn(const std::vector<int> &input,
-                               Rng &rng) const;
+    std::vector<std::vector<double>>
+    runMlpBatch(const std::vector<std::vector<int>> &inputs,
+                Rng &rng) const;
+    std::vector<std::vector<double>>
+    runCnnBatch(const std::vector<std::vector<int>> &inputs,
+                Rng &rng) const;
 };
 
 } // namespace superbnn::core

@@ -93,6 +93,18 @@ CrossbarArray::columnSums(const std::vector<int> &activations) const
     return sums;
 }
 
+std::vector<int>
+CrossbarArray::columnSumsBatch(
+    const std::vector<std::vector<int>> &batch) const
+{
+    std::vector<int> sums(batch.size() * size_, 0);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+        const std::vector<int> one = columnSums(batch[b]);
+        std::copy(one.begin(), one.end(), sums.begin() + b * size_);
+    }
+    return sums;
+}
+
 double
 CrossbarArray::columnCurrent(std::size_t col,
                              const std::vector<int> &activations) const
@@ -121,6 +133,51 @@ CrossbarArray::observe(const std::vector<int> &activations,
     for (std::size_t c = 0; c < size_; ++c)
         out.push_back(neurons[c].observe(
             static_cast<double>(sums[c]) * unitCurrent, window, rng));
+    return out;
+}
+
+std::vector<sc::BitstreamBatch>
+CrossbarArray::observeBatch(const std::vector<std::vector<int>> &batch,
+                            std::size_t window,
+                            std::vector<Rng> &rngs) const
+{
+    assert(rngs.size() == batch.size());
+    const std::size_t samples = batch.size();
+    const std::vector<int> sums = columnSumsBatch(batch);
+    std::vector<sc::BitstreamBatch> out;
+    out.reserve(size_);
+    std::vector<double> probs(samples);
+    for (std::size_t c = 0; c < size_; ++c) {
+        for (std::size_t b = 0; b < samples; ++b)
+            probs[b] = neurons[c].probOne(
+                static_cast<double>(sums[b * size_ + c]) * unitCurrent);
+        out.push_back(sc::BitstreamBatch::bernoulli(window, probs, rngs));
+    }
+    return out;
+}
+
+std::vector<sc::BitstreamBatch>
+CrossbarArray::observeBatchSeeded(
+    const std::vector<std::vector<int>> &batch, std::size_t window,
+    const std::vector<std::uint64_t> &seeds) const
+{
+    assert(seeds.size() == batch.size());
+    const std::size_t samples = batch.size();
+    const std::vector<int> sums = columnSumsBatch(batch);
+    std::vector<sc::BitstreamBatch> out;
+    out.reserve(size_);
+    for (std::size_t c = 0; c < size_; ++c)
+        out.emplace_back(samples, window);
+    // Sample-outer, columns ascending: the per-sample draw order is the
+    // same as observe()/observeBatch(), with one live engine at a time.
+    for (std::size_t b = 0; b < samples; ++b) {
+        Rng rng(seeds[b]);
+        for (std::size_t c = 0; c < size_; ++c) {
+            const double p = neurons[c].probOne(
+                static_cast<double>(sums[b * size_ + c]) * unitCurrent);
+            sc::detail::bernoulliFill(out[c].words(b), window, p, rng);
+        }
+    }
     return out;
 }
 

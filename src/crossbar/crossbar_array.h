@@ -12,12 +12,14 @@
 #define SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "aqfp/attenuation.h"
 #include "crossbar/lim_cell.h"
 #include "crossbar/neuron.h"
 #include "sc/bitstream.h"
+#include "sc/bitstream_batch.h"
 
 namespace superbnn::crossbar {
 
@@ -79,6 +81,15 @@ class CrossbarArray
      */
     std::vector<int> columnSums(const std::vector<int> &activations) const;
 
+    /**
+     * Column sums for a batch of activation vectors in one call:
+     * returns a sample-major flat vector of size batch.size() * size()
+     * (sample b, column c at [b * size() + c]). The cell array is
+     * walked once per sample; the programmed weights are shared.
+     */
+    std::vector<int>
+    columnSumsBatch(const std::vector<std::vector<int>> &batch) const;
+
     /** One stochastic binarized readout of every column: +/-1 each. */
     std::vector<int> evaluate(const std::vector<int> &activations,
                               Rng &rng) const;
@@ -90,6 +101,31 @@ class CrossbarArray
     std::vector<sc::Bitstream>
     observe(const std::vector<int> &activations, std::size_t window,
             Rng &rng) const;
+
+    /**
+     * Batched observe: one BitstreamBatch per column, holding every
+     * sample's window-long stream side by side. Sample b's bits are
+     * drawn from rngs[b], in ascending column order — bit-identical to
+     * calling observe(batch[b], window, rngs[b]) per sample — so the
+     * batched executor stays exact w.r.t. the single-sample path.
+     * rngs.size() must equal batch.size().
+     */
+    std::vector<sc::BitstreamBatch>
+    observeBatch(const std::vector<std::vector<int>> &batch,
+                 std::size_t window, std::vector<Rng> &rngs) const;
+
+    /**
+     * observeBatch with one RNG *seed* per sample instead of live
+     * generators: sample b's engine is constructed from seeds[b] on
+     * the fly and used for all columns in ascending order, so only one
+     * engine is alive at a time (the executor's batched CNN path would
+     * otherwise hold thousands of Mersenne states per tile task).
+     * Bit-identical to observeBatch with rngs[b] = Rng(seeds[b]).
+     */
+    std::vector<sc::BitstreamBatch>
+    observeBatchSeeded(const std::vector<std::vector<int>> &batch,
+                       std::size_t window,
+                       const std::vector<std::uint64_t> &seeds) const;
 
     /** Probability of '1' per column (the exact Eq.-1 probabilities). */
     std::vector<double>

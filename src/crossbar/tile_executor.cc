@@ -1,14 +1,145 @@
 #include "crossbar/tile_executor.h"
 
 #include <cassert>
+#include <cstdint>
 
 namespace superbnn::crossbar {
 
+namespace {
+
+/** SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Seed of the RNG stream that tile (rt, ct) uses for one sample. Mixing
+ * the per-sample root with the tile coordinates decorrelates the
+ * streams and — because the seed depends only on (root, rt, ct), never
+ * on execution order — makes the forward pass independent of the
+ * thread count.
+ */
+inline std::uint64_t
+tileSeed(std::uint64_t root, std::size_t rt, std::size_t ct)
+{
+    return splitmix64(
+        root
+        ^ splitmix64((static_cast<std::uint64_t>(rt) << 32)
+                     ^ (static_cast<std::uint64_t>(ct) + 1)));
+}
+
+} // namespace
+
 TileExecutor::TileExecutor(std::size_t window, bool use_exact_apc,
-                           double drop_fraction)
+                           double drop_fraction, std::size_t threads)
     : window_(window), useExact(use_exact_apc), dropFraction(drop_fraction)
 {
     assert(window >= 1);
+    setThreads(threads);
+}
+
+std::size_t
+TileExecutor::threads() const
+{
+    return pool ? pool->threadCount() : 1;
+}
+
+void
+TileExecutor::setThreads(std::size_t threads)
+{
+    const std::size_t resolved =
+        threads == 0 ? util::ThreadPool::defaultThreadCount() : threads;
+    if (resolved <= 1)
+        pool.reset();
+    else
+        pool = std::make_shared<util::ThreadPool>(resolved);
+}
+
+void
+TileExecutor::runParallel(
+    std::size_t n, const std::function<void(std::size_t)> &task) const
+{
+    if (pool) {
+        pool->parallelFor(n, task);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+    }
+}
+
+void
+TileExecutor::observeTiles(
+    const MappedLayer &layer, const std::vector<std::vector<int>> &batch,
+    Rng &rng,
+    std::vector<std::vector<sc::BitstreamBatch>> &observed) const
+{
+    const std::size_t samples = batch.size();
+    // Root seeds are drawn in sample order before any parallel work, so
+    // RNG consumption is identical to N consecutive single forwards.
+    std::vector<std::uint64_t> roots(samples);
+    for (auto &r : roots)
+        r = rng.raw()();
+
+    observed.assign(layer.rowTiles * layer.colTiles, {});
+    runParallel(layer.rowTiles * layer.colTiles, [&](std::size_t t) {
+        const std::size_t rt = t / layer.colTiles;
+        const std::size_t ct = t % layer.colTiles;
+        const std::size_t r0 = rt * layer.cs;
+        const std::size_t rows = std::min(layer.cs, layer.fanIn - r0);
+        std::vector<std::vector<int>> slices(samples);
+        std::vector<std::uint64_t> seeds(samples);
+        for (std::size_t b = 0; b < samples; ++b) {
+            slices[b].assign(batch[b].begin() + r0,
+                             batch[b].begin() + r0 + rows);
+            seeds[b] = tileSeed(roots[b], rt, ct);
+        }
+        // Each task owns its scratch slot: no synchronization needed.
+        observed[t] = layer.tile(rt, ct).observeBatchSeeded(
+            slices, window_, seeds);
+    });
+}
+
+std::vector<std::vector<int>>
+TileExecutor::forward(const MappedLayer &layer,
+                      const std::vector<std::vector<int>> &batch,
+                      Rng &rng) const
+{
+#ifndef NDEBUG
+    for (const auto &acts : batch)
+        assert(acts.size() == layer.fanIn);
+#endif
+    const std::size_t samples = batch.size();
+    std::vector<std::vector<int>> out(
+        samples, std::vector<int>(layer.fanOut, -1));
+    if (samples == 0)
+        return out;
+
+    std::vector<std::vector<sc::BitstreamBatch>> observed;
+    observeTiles(layer, batch, rng, observed); // barrier inside
+
+    const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
+                                       dropFraction);
+    // Merge phase: one task per (sample, column group); each writes a
+    // disjoint slice of the output.
+    runParallel(samples * layer.colTiles, [&](std::size_t t) {
+        const std::size_t b = t / layer.colTiles;
+        const std::size_t ct = t % layer.colTiles;
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        std::vector<sc::StreamView> column(layer.rowTiles);
+        for (std::size_t c = 0; c < cols; ++c) {
+            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
+                column[rt] =
+                    observed[rt * layer.colTiles + ct][c].view(b);
+            out[b][c0 + c] = accum.accumulate(column);
+        }
+    });
+    return out;
 }
 
 std::vector<int>
@@ -16,32 +147,44 @@ TileExecutor::forward(const MappedLayer &layer,
                       const std::vector<int> &activations, Rng &rng) const
 {
     assert(activations.size() == layer.fanIn);
-    std::vector<int> out(layer.fanOut, -1);
+    auto batched = forward(
+        layer, std::vector<std::vector<int>>{activations}, rng);
+    return std::move(batched[0]);
+}
+
+std::vector<std::vector<double>>
+TileExecutor::forwardDecoded(const MappedLayer &layer,
+                             const std::vector<std::vector<int>> &batch,
+                             Rng &rng) const
+{
+#ifndef NDEBUG
+    for (const auto &acts : batch)
+        assert(acts.size() == layer.fanIn);
+#endif
+    const std::size_t samples = batch.size();
+    std::vector<std::vector<double>> out(
+        samples, std::vector<double>(layer.fanOut, 0.0));
+    if (samples == 0)
+        return out;
+
+    std::vector<std::vector<sc::BitstreamBatch>> observed;
+    observeTiles(layer, batch, rng, observed);
+
     const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
                                        dropFraction);
-
-    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
-        // Observe all row tiles of this column group.
-        std::vector<std::vector<sc::Bitstream>> streams; // [rt][col]
-        streams.reserve(layer.rowTiles);
-        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
-            const std::size_t r0 = rt * layer.cs;
-            const std::size_t rows =
-                std::min(layer.cs, layer.fanIn - r0);
-            std::vector<int> slice(activations.begin() + r0,
-                                   activations.begin() + r0 + rows);
-            streams.push_back(
-                layer.tile(rt, ct).observe(slice, window_, rng));
-        }
+    runParallel(samples * layer.colTiles, [&](std::size_t t) {
+        const std::size_t b = t / layer.colTiles;
+        const std::size_t ct = t % layer.colTiles;
         const std::size_t c0 = ct * layer.cs;
         const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
-        std::vector<const sc::Bitstream *> column(layer.rowTiles);
+        std::vector<sc::StreamView> column(layer.rowTiles);
         for (std::size_t c = 0; c < cols; ++c) {
             for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column[rt] = &streams[rt][c];
-            out[c0 + c] = accum.accumulate(column);
+                column[rt] =
+                    observed[rt * layer.colTiles + ct][c].view(b);
+            out[b][c0 + c] = accum.decodedSum(column);
         }
-    }
+    });
     return out;
 }
 
@@ -51,30 +194,9 @@ TileExecutor::forwardDecoded(const MappedLayer &layer,
                              Rng &rng) const
 {
     assert(activations.size() == layer.fanIn);
-    std::vector<double> out(layer.fanOut, 0.0);
-    const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
-                                       dropFraction);
-    for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
-        std::vector<std::vector<sc::Bitstream>> streams;
-        streams.reserve(layer.rowTiles);
-        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
-            const std::size_t r0 = rt * layer.cs;
-            const std::size_t rows = std::min(layer.cs, layer.fanIn - r0);
-            std::vector<int> slice(activations.begin() + r0,
-                                   activations.begin() + r0 + rows);
-            streams.push_back(
-                layer.tile(rt, ct).observe(slice, window_, rng));
-        }
-        const std::size_t c0 = ct * layer.cs;
-        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
-        std::vector<const sc::Bitstream *> column(layer.rowTiles);
-        for (std::size_t c = 0; c < cols; ++c) {
-            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column[rt] = &streams[rt][c];
-            out[c0 + c] = accum.decodedSum(column);
-        }
-    }
-    return out;
+    auto batched = forwardDecoded(
+        layer, std::vector<std::vector<int>>{activations}, rng);
+    return std::move(batched[0]);
 }
 
 std::vector<double>

@@ -7,16 +7,34 @@
  * neurons for L cycles (producing stochastic-number bitstreams); the
  * AccumulationModule APC-sums the per-cycle bits across row tiles and a
  * comparator yields the binary activation driving the next layer.
+ *
+ * Execution is threaded and batched. The (rowTile, colTile) tile
+ * observations of a forward pass are independent, so they run as
+ * parallel tasks on a util::ThreadPool, each writing its streams into
+ * its own slot of a preallocated scratch table; the pool's barrier then
+ * separates observation from the (also parallel) per-column-group
+ * accumulation merge. Determinism does not depend on the thread count:
+ * every (sample, tile) task draws from its own RNG stream, seeded by
+ * mixing one root draw per sample (taken from the caller's Rng in
+ * sample order) with the tile coordinates. Consequences:
+ *
+ *  - any thread count produces bit-identical outputs, and
+ *  - a batched forward of N samples is bit-identical to N consecutive
+ *    single-sample forwards from the same starting Rng state (each
+ *    single forward consumes exactly one root draw).
  */
 
 #ifndef SUPERBNN_CROSSBAR_TILE_EXECUTOR_H
 #define SUPERBNN_CROSSBAR_TILE_EXECUTOR_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "crossbar/mapper.h"
 #include "sc/accumulation.h"
+#include "sc/bitstream_batch.h"
+#include "util/thread_pool.h"
 
 namespace superbnn::crossbar {
 
@@ -28,21 +46,43 @@ class TileExecutor
      * @param window         SC observation window length L
      * @param use_exact_apc  ablation: exact instead of approximate APC
      * @param drop_fraction  APC approximation aggressiveness
+     * @param threads        executor concurrency: 1 = sequential, 0 =
+     *                       util::ThreadPool::defaultThreadCount()
+     *                       (the SUPERBNN_THREADS environment variable,
+     *                       else the hardware concurrency)
      */
     explicit TileExecutor(std::size_t window, bool use_exact_apc = false,
-                          double drop_fraction = 0.25);
+                          double drop_fraction = 0.25,
+                          std::size_t threads = 0);
 
     /**
      * Full stochastic forward pass of one layer.
      *
      * @param layer        the mapped layer (with thresholds installed)
      * @param activations  +/-1 inputs, length layer.fanIn
-     * @param rng          randomness source (device noise)
+     * @param rng          randomness source (device noise); exactly one
+     *                     raw draw is consumed as the per-sample root
+     *                     seed
      * @return +/-1 outputs, length layer.fanOut
      */
     std::vector<int> forward(const MappedLayer &layer,
                              const std::vector<int> &activations,
                              Rng &rng) const;
+
+    /**
+     * Batched forward: programmed tiles are mapped once and reused for
+     * every sample; tile observations for all (sample, rowTile,
+     * colTile) combinations run as one parallel phase. Bit-identical to
+     * calling forward() per sample with the same starting @p rng state.
+     *
+     * @param layer  the mapped layer
+     * @param batch  +/-1 input vectors, each of length layer.fanIn
+     * @param rng    root-seed source; consumes batch.size() raw draws
+     * @return one +/-1 output vector (length layer.fanOut) per sample
+     */
+    std::vector<std::vector<int>>
+    forward(const MappedLayer &layer,
+            const std::vector<std::vector<int>> &batch, Rng &rng) const;
 
     /**
      * Multi-bit readout used for the classifier head: instead of the
@@ -54,6 +94,12 @@ class TileExecutor
     std::vector<double> forwardDecoded(const MappedLayer &layer,
                                        const std::vector<int> &activations,
                                        Rng &rng) const;
+
+    /** Batched forwardDecoded (same exactness contract as forward). */
+    std::vector<std::vector<double>>
+    forwardDecoded(const MappedLayer &layer,
+                   const std::vector<std::vector<int>> &batch,
+                   Rng &rng) const;
 
     /**
      * Latent pre-binarization sums: sum_i a_i * w_ij - vth_j, the ideal
@@ -79,10 +125,41 @@ class TileExecutor
     std::size_t window() const { return window_; }
     bool usesExactApc() const { return useExact; }
 
+    /** Effective concurrency (1 when running sequentially). */
+    std::size_t threads() const;
+
+    /**
+     * Reconfigure concurrency: 1 drops the pool (pure sequential path),
+     * 0 resizes to the default count, anything else to that count.
+     * Outputs are bit-identical across all settings.
+     */
+    void setThreads(std::size_t threads);
+
   private:
     std::size_t window_;
     bool useExact;
     double dropFraction;
+    /// Shared so TileExecutor stays cheaply copyable; null =
+    /// sequential. CAUTION: copies therefore share one pool, and
+    /// ThreadPool::parallelFor runs one loop at a time — do not drive
+    /// copies of one executor from different threads concurrently
+    /// (give each its own TileExecutor instead).
+    std::shared_ptr<util::ThreadPool> pool;
+
+    /** parallelFor through the pool, or a plain loop without one. */
+    void runParallel(std::size_t n,
+                     const std::function<void(std::size_t)> &task) const;
+
+    /**
+     * Phase 1 of a (batched) forward: observe every (rowTile, colTile)
+     * tile for every sample into the scratch table, one task per tile.
+     * observed[rt * colTiles + ct][c] holds column c's BitstreamBatch.
+     */
+    void
+    observeTiles(const MappedLayer &layer,
+                 const std::vector<std::vector<int>> &batch, Rng &rng,
+                 std::vector<std::vector<sc::BitstreamBatch>> &observed)
+        const;
 };
 
 } // namespace superbnn::crossbar

@@ -1,8 +1,60 @@
 #include "nn/module.h"
 
-// Module is an interface; its out-of-line pieces live here so the vtable
-// has a home translation unit.
+#include <algorithm>
+#include <stdexcept>
 
 namespace superbnn::nn {
+
+Tensor
+stackSamples(const std::vector<Tensor> &samples)
+{
+    if (samples.empty())
+        throw std::invalid_argument(
+            "stackSamples: empty sample list");
+    const Shape &first = samples.front().shape();
+    if (first.empty() || first[0] != 1)
+        throw std::invalid_argument(
+            "stackSamples: samples need a leading batch dimension of 1");
+    for (const Tensor &s : samples)
+        if (s.shape() != first)
+            throw std::invalid_argument(
+                "stackSamples: sample shapes disagree");
+    Shape batched = first;
+    batched[0] = samples.size();
+    Tensor out(batched);
+    const std::size_t stride = samples.front().size();
+    for (std::size_t b = 0; b < samples.size(); ++b)
+        std::copy(samples[b].data(), samples[b].data() + stride,
+                  out.data() + b * stride);
+    return out;
+}
+
+std::vector<Tensor>
+splitBatch(const Tensor &batch)
+{
+    if (batch.rank() == 0)
+        return {};
+    Shape per = batch.shape();
+    const std::size_t n = per[0];
+    per[0] = 1;
+    std::vector<Tensor> out;
+    out.reserve(n);
+    const std::size_t stride = n == 0 ? 0 : batch.size() / n;
+    for (std::size_t b = 0; b < n; ++b) {
+        Tensor s(per);
+        std::copy(batch.data() + b * stride,
+                  batch.data() + (b + 1) * stride, s.data());
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<Tensor>
+Module::forwardBatch(const std::vector<Tensor> &samples, bool training)
+{
+    if (samples.empty())
+        return {};
+    return splitBatch(forward(stackSamples(samples), training));
+}
 
 } // namespace superbnn::nn

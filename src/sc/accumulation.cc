@@ -33,6 +33,19 @@ AccumulationModule::rawCount(
 }
 
 std::size_t
+AccumulationModule::rawCount(
+    const std::vector<StreamView> &streams) const
+{
+    assert(streams.size() == crossbars_);
+#ifndef NDEBUG
+    for (const StreamView &v : streams)
+        assert(v.length == window_);
+#endif
+    return useExact ? exact.countStreams(streams)
+                    : approx.countStreams(streams);
+}
+
+std::size_t
 AccumulationModule::rawCount(const std::vector<Bitstream> &streams) const
 {
     std::vector<const Bitstream *> borrowed;
@@ -100,6 +113,20 @@ AccumulationModule::decodedSum(const std::vector<Bitstream> &streams) const
 double
 AccumulationModule::decodedSum(
     const std::vector<const Bitstream *> &streams) const
+{
+    return decodeFromCount(rawCount(streams));
+}
+
+int
+AccumulationModule::accumulate(const std::vector<StreamView> &streams,
+                               double reference_offset) const
+{
+    return decideFromCount(rawCount(streams), reference_offset);
+}
+
+double
+AccumulationModule::decodedSum(
+    const std::vector<StreamView> &streams) const
 {
     return decodeFromCount(rawCount(streams));
 }

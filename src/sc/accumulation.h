@@ -63,12 +63,23 @@ class AccumulationModule
     int accumulate(const std::vector<const Bitstream *> &streams,
                    double reference_offset = 0.0) const;
 
+    /**
+     * Copy-free variant over word views: the batched executor gathers
+     * one (column, sample) across row tiles as StreamViews into the
+     * tiles' BitstreamBatch buffers.
+     */
+    int accumulate(const std::vector<StreamView> &streams,
+                   double reference_offset = 0.0) const;
+
     /** Total ones-count over the window (before comparison). */
     std::size_t rawCount(const std::vector<Bitstream> &streams) const;
 
     /** Copy-free variant of rawCount over borrowed streams. */
     std::size_t
     rawCount(const std::vector<const Bitstream *> &streams) const;
+
+    /** Copy-free variant of rawCount over word views. */
+    std::size_t rawCount(const std::vector<StreamView> &streams) const;
 
     /**
      * Expected per-cycle undercount of the approximate APC around the
@@ -83,6 +94,9 @@ class AccumulationModule
     /** Copy-free variant of decodedSum over borrowed streams. */
     double
     decodedSum(const std::vector<const Bitstream *> &streams) const;
+
+    /** Copy-free variant of decodedSum over word views. */
+    double decodedSum(const std::vector<StreamView> &streams) const;
 
     /** Gate inventory: APC + accumulator + comparator, for JJ accounting. */
     aqfp::NetlistSummary netlist() const;

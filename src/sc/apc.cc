@@ -33,6 +33,30 @@ ParallelCounter::countStreams(
     return ones;
 }
 
+namespace {
+
+inline std::size_t
+popcountView(const StreamView &v)
+{
+    const std::size_t words = detail::wordsForLength(v.length);
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < words; ++w)
+        ones += detail::popcountWord(v.words[w]);
+    return ones;
+}
+
+} // namespace
+
+std::size_t
+ParallelCounter::countStreams(const std::vector<StreamView> &streams) const
+{
+    assert(streams.size() == inputs_);
+    std::size_t ones = 0;
+    for (const StreamView &v : streams)
+        ones += popcountView(v);
+    return ones;
+}
+
 aqfp::NetlistSummary
 ParallelCounter::netlist() const
 {
@@ -104,6 +128,31 @@ ApproxParallelCounter::countStreams(
     }
     if (inputs_ % 2 == 1)
         ones += streams.back()->popcount();
+    return ones;
+}
+
+std::size_t
+ApproxParallelCounter::countStreams(
+    const std::vector<StreamView> &streams) const
+{
+    assert(streams.size() == inputs_);
+    std::size_t ones = 0;
+    const std::size_t pairs = inputs_ / 2;
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const StreamView &a = streams[2 * p];
+        const StreamView &b = streams[2 * p + 1];
+        assert(a.length == b.length);
+        const std::size_t words = detail::wordsForLength(a.length);
+        if (p < droppedPairs_) {
+            // Carry path dropped: each cycle contributes (a | b).
+            for (std::size_t w = 0; w < words; ++w)
+                ones += detail::popcountWord(a.words[w] | b.words[w]);
+        } else {
+            ones += popcountView(a) + popcountView(b);
+        }
+    }
+    if (inputs_ % 2 == 1)
+        ones += popcountView(streams.back());
     return ones;
 }
 

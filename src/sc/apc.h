@@ -43,6 +43,13 @@ class ParallelCounter
     std::size_t
     countStreams(const std::vector<const Bitstream *> &streams) const;
 
+    /**
+     * countStreams over borrowed word views (e.g. samples inside a
+     * BitstreamBatch); views must share one length and obey the packed
+     * zero-tail invariant.
+     */
+    std::size_t countStreams(const std::vector<StreamView> &streams) const;
+
     std::size_t inputs() const { return inputs_; }
 
     /** Gate inventory of the full-adder tree for JJ accounting. */
@@ -87,6 +94,9 @@ class ApproxParallelCounter
      */
     std::size_t
     countStreams(const std::vector<const Bitstream *> &streams) const;
+
+    /** countStreams over borrowed word views (see ParallelCounter). */
+    std::size_t countStreams(const std::vector<StreamView> &streams) const;
 
     /** Upper bound on the undercount for any input. */
     std::size_t maxUndercount() const { return droppedPairs_; }

@@ -18,6 +18,64 @@ wordsFor(std::size_t length)
 
 } // namespace
 
+namespace detail {
+
+std::size_t
+wordsForLength(std::size_t length)
+{
+    return wordsFor(length);
+}
+
+void
+bernoulliFill(std::uint64_t *words, std::size_t length, double p,
+              Rng &rng)
+{
+    constexpr std::size_t kWordBits = Bitstream::kWordBits;
+    const std::size_t word_count = wordsFor(length);
+    if (length == 0)
+        return;
+    if (p <= 0.0) {
+        std::fill(words, words + word_count, std::uint64_t{0});
+        return;
+    }
+    if (p >= 1.0) {
+        std::fill(words, words + word_count, ~std::uint64_t{0});
+        const std::size_t tail = length % kWordBits;
+        if (tail != 0)
+            words[word_count - 1] = (std::uint64_t{1} << tail) - 1;
+        return;
+    }
+    // Fixed-point threshold: a raw 64-bit draw is below p * 2^64 with
+    // probability p (to within 2^-64, far below the stream's own
+    // sampling noise). p is strictly inside (0,1) here, so the product
+    // stays below 2^64 and the cast is well defined.
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(std::ldexp(p, 64));
+    auto &engine = rng.raw();
+    const std::size_t full = length / kWordBits;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < kWordBits; ++b)
+            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
+        words[w] = word;
+    }
+    const std::size_t tail = length % kWordBits;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
+        words[full] = word;
+    }
+}
+
+} // namespace detail
+
+StreamView
+viewOf(const Bitstream &stream)
+{
+    return StreamView{stream.words().data(), stream.length()};
+}
+
 Bitstream::Bitstream(std::size_t length)
     : length_(length), words_(wordsFor(length), 0)
 {
@@ -52,34 +110,7 @@ Bitstream
 Bitstream::bernoulli(std::size_t length, double p, Rng &rng)
 {
     Bitstream out(length);
-    if (length == 0 || p <= 0.0)
-        return out;
-    if (p >= 1.0) {
-        std::fill(out.words_.begin(), out.words_.end(), ~std::uint64_t{0});
-        out.maskTail();
-        return out;
-    }
-    // Fixed-point threshold: a raw 64-bit draw is below p * 2^64 with
-    // probability p (to within 2^-64, far below the stream's own
-    // sampling noise). p is strictly inside (0,1) here, so the product
-    // stays below 2^64 and the cast is well defined.
-    const std::uint64_t threshold =
-        static_cast<std::uint64_t>(std::ldexp(p, 64));
-    auto &engine = rng.raw();
-    const std::size_t full = length / kWordBits;
-    for (std::size_t w = 0; w < full; ++w) {
-        std::uint64_t word = 0;
-        for (std::size_t b = 0; b < kWordBits; ++b)
-            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
-        out.words_[w] = word;
-    }
-    const std::size_t tail = length % kWordBits;
-    if (tail != 0) {
-        std::uint64_t word = 0;
-        for (std::size_t b = 0; b < tail; ++b)
-            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
-        out.words_[full] = word;
-    }
+    detail::bernoulliFill(out.words_.data(), length, p, rng);
     return out;
 }
 

@@ -27,6 +27,8 @@
 
 namespace superbnn::sc {
 
+class Bitstream;
+
 namespace detail {
 
 /** Portable 64-bit popcount (hardware popcnt under GCC/Clang). */
@@ -45,7 +47,37 @@ popcountWord(std::uint64_t w)
 #endif
 }
 
+/** Storage words needed for a stream of @p length bits: ceil(length/64). */
+std::size_t wordsForLength(std::size_t length);
+
+/**
+ * Fill ceil(length/64) words at @p words with an i.i.d. Bernoulli(p)
+ * stream, LSB-first, tail bits zero. The single word-generation routine
+ * shared by Bitstream::bernoulli and BitstreamBatch::bernoulli, so the
+ * two produce bit-identical streams from equal RNG states (the batched
+ * executor's exactness guarantee leans on this). p <= 0 and p >= 1
+ * write constant streams without consuming any RNG draws.
+ */
+void bernoulliFill(std::uint64_t *words, std::size_t length, double p,
+                   Rng &rng);
+
 } // namespace detail
+
+/**
+ * Non-owning view of one packed stochastic stream: a word pointer plus a
+ * bit length. The viewed words must obey the Bitstream invariants
+ * (64-bit words, LSB-first, zero tail) and outlive the view. Used to
+ * run accumulation over streams stored inside a BitstreamBatch without
+ * materializing per-sample Bitstream copies.
+ */
+struct StreamView
+{
+    const std::uint64_t *words = nullptr; ///< ceil(length/64) packed words
+    std::size_t length = 0;               ///< stream length in bits
+};
+
+/** Borrow a view of a Bitstream (valid while the stream lives). */
+StreamView viewOf(const Bitstream &stream);
 
 /** Encoding convention of a stochastic bitstream. */
 enum class Encoding

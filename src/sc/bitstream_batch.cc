@@ -1,0 +1,68 @@
+#include "sc/bitstream_batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace superbnn::sc {
+
+BitstreamBatch::BitstreamBatch(std::size_t batch, std::size_t length)
+    : batch_(batch), length_(length),
+      stride(detail::wordsForLength(length)), words_(batch * stride, 0)
+{
+}
+
+BitstreamBatch
+BitstreamBatch::bernoulli(std::size_t length,
+                          const std::vector<double> &probs,
+                          std::vector<Rng> &rngs)
+{
+    if (probs.size() != rngs.size())
+        throw std::invalid_argument(
+            "BitstreamBatch::bernoulli: probs/rngs size mismatch");
+    BitstreamBatch out(probs.size(), length);
+    for (std::size_t b = 0; b < out.batch_; ++b)
+        detail::bernoulliFill(out.words(b), length, probs[b], rngs[b]);
+    return out;
+}
+
+Bitstream
+BitstreamBatch::stream(std::size_t b) const
+{
+    assert(b < batch_);
+    return Bitstream::fromWords(
+        std::vector<std::uint64_t>(words(b), words(b) + stride),
+        length_);
+}
+
+void
+BitstreamBatch::assign(std::size_t b, const Bitstream &s)
+{
+    assert(b < batch_);
+    if (s.length() != length_)
+        throw std::invalid_argument(
+            "BitstreamBatch::assign: stream length mismatch");
+    std::copy(s.words().begin(), s.words().end(), words(b));
+}
+
+std::size_t
+BitstreamBatch::popcount(std::size_t b) const
+{
+    assert(b < batch_);
+    const std::uint64_t *w = words(b);
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < stride; ++i)
+        ones += detail::popcountWord(w[i]);
+    return ones;
+}
+
+double
+BitstreamBatch::decode(std::size_t b, Encoding enc) const
+{
+    if (length_ == 0)
+        return 0.0;
+    const double p = static_cast<double>(popcount(b))
+        / static_cast<double>(length_);
+    return enc == Encoding::Unipolar ? p : 2.0 * p - 1.0;
+}
+
+} // namespace superbnn::sc

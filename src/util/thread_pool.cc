@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace superbnn::util {
+
+namespace {
+
+/// Set while a thread is executing a pool-managed body; nested
+/// parallelFor calls from such a thread run inline.
+thread_local bool tls_inside_pool = false;
+
+} // namespace
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("SUPERBNN_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t total =
+        threads == 0 ? defaultThreadCount() : threads;
+    if (total > 1) {
+        workers.reserve(total - 1);
+        for (std::size_t i = 0; i + 1 < total; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runIndices(const std::function<void(std::size_t)> &body,
+                       std::size_t n)
+{
+    for (;;) {
+        const std::size_t i =
+            nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        try {
+            body(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_inside_pool = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake.wait(lock,
+                  [&] { return stopping || generation != seen; });
+        if (stopping)
+            return;
+        seen = generation;
+        const std::function<void(std::size_t)> *body = jobBody;
+        const std::size_t n = jobSize;
+        lock.unlock();
+        runIndices(*body, n);
+        lock.lock();
+        if (--activeWorkers == 0)
+            done.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1 || tls_inside_pool) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    firstError = nullptr;
+    jobBody = &body;
+    jobSize = n;
+    nextIndex.store(0, std::memory_order_relaxed);
+    activeWorkers = workers.size();
+    ++generation;
+    lock.unlock();
+    wake.notify_all();
+    // The caller is a full participant, then waits out the stragglers.
+    tls_inside_pool = true;
+    runIndices(body, n);
+    tls_inside_pool = false;
+    lock.lock();
+    done.wait(lock, [&] { return activeWorkers == 0; });
+    if (firstError) {
+        const std::exception_ptr err = firstError;
+        firstError = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace superbnn::util

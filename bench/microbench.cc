@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +17,7 @@
 #include "crossbar/mapper.h"
 #include "crossbar/tile_executor.h"
 #include "sc/accumulation.h"
+#include "simd/kernels.h"
 #include "tensor/tensor_ops.h"
 
 using namespace superbnn;
@@ -170,6 +172,28 @@ BM_XnorPopcountPacked(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * window);
 }
 BENCHMARK(BM_XnorPopcountPacked)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+/**
+ * XNOR+popcount pinned to one dispatch arm; registered dynamically in
+ * main() once per arm the host actually supports, so the arm
+ * comparison shows up in the machine-readable benchmark output as well
+ * as the self-timed sweep below.
+ */
+void
+BM_XnorPopcountArm(benchmark::State &state, simd::Arm arm)
+{
+    const std::size_t window = static_cast<std::size_t>(state.range(0));
+    const simd::Arm previous = simd::activeArm();
+    simd::setActiveArm(arm);
+    Rng rng(6);
+    const sc::Bitstream a = sc::Bitstream::bernoulli(window, 0.3, rng);
+    const sc::Bitstream b = sc::Bitstream::bernoulli(window, 0.6, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.xnorPopcount(b));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * window);
+    simd::setActiveArm(previous);
+}
 
 void
 BM_XnorPopcountByteRef(benchmark::State &state)
@@ -337,6 +361,139 @@ reportThreadBatchSweep()
     }
 }
 
+/**
+ * Self-timed dispatch-arm sweep of the XNOR+popcount kernel: every arm
+ * the host supports, at each SC window, against the scalar arm. The
+ * speedup column at window 1024 is the headline number for the SIMD
+ * layer (the packed-vs-byte table above already covers word packing
+ * itself).
+ */
+void
+reportSimdArmSweep()
+{
+    using clock = std::chrono::steady_clock;
+    const auto arms = simd::availableArms();
+    const simd::Arm previous = simd::activeArm();
+    std::printf("\n==== XNOR+popcount dispatch arms (vs scalar) ====\n");
+    std::printf("%8s", "window");
+    for (const simd::Arm arm : arms)
+        std::printf(" %10s %8s", simd::armName(arm), "speedup");
+    std::printf("\n");
+    Rng rng(8);
+    for (const std::size_t window : {64u, 256u, 1024u, 4096u}) {
+        const sc::Bitstream a =
+            sc::Bitstream::bernoulli(window, 0.3, rng);
+        const sc::Bitstream b =
+            sc::Bitstream::bernoulli(window, 0.6, rng);
+        const std::size_t total_bits = 1u << 28;
+        const std::size_t iters = total_bits / window;
+        std::printf("%8zu", window);
+        double scalar_s = 0.0;
+        for (const simd::Arm arm : arms) {
+            simd::setActiveArm(arm);
+            const auto t0 = clock::now();
+            for (std::size_t i = 0; i < iters; ++i)
+                benchmark::DoNotOptimize(a.xnorPopcount(b));
+            const double secs =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+            if (arm == simd::Arm::Scalar)
+                scalar_s = secs;
+            const double bits = static_cast<double>(iters)
+                * static_cast<double>(window);
+            std::printf(" %10.2f %7.1fx", bits / secs / 1e9,
+                        scalar_s / secs);
+        }
+        std::printf("\n");
+    }
+    simd::setActiveArm(previous);
+}
+
+/**
+ * Self-timed dispatch-arm sweep of the executor forward path on the
+ * Table-2/Table-3 workloads (sequential, batch 8, the kernel-bound
+ * configuration): end-to-end samples/s per arm, speedup vs scalar.
+ */
+void
+reportSimdWorkloadSweep()
+{
+    using clock = std::chrono::steady_clock;
+    const aqfp::AttenuationModel atten;
+    const std::size_t cs = 16;
+    const std::size_t window = 16;
+    const crossbar::CrossbarMapper mapper(cs, atten, 2.4);
+    Rng rng(17);
+
+    auto signedLayer = [&](std::size_t out, std::size_t in) {
+        Tensor w({out, in});
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        crossbar::MappedLayer layer = mapper.map(w);
+        crossbar::CrossbarMapper::setThresholds(
+            layer, std::vector<double>(out, 0.0));
+        return layer;
+    };
+
+    struct Workload
+    {
+        const char *name;
+        std::vector<crossbar::MappedLayer> layers;
+        std::size_t fanIn;
+    };
+    std::vector<Workload> workloads;
+    {
+        Workload mlp{"table3 MNIST MLP 784-64-10", {}, 784};
+        mlp.layers.push_back(signedLayer(64, 784));
+        mlp.layers.push_back(signedLayer(10, 64));
+        workloads.push_back(std::move(mlp));
+    }
+    {
+        Workload conv{"table2 CIFAR conv3x3 16ch (patch rows)", {}, 144};
+        conv.layers.push_back(signedLayer(16, 144));
+        workloads.push_back(std::move(conv));
+    }
+
+    const simd::Arm previous = simd::activeArm();
+    const std::size_t batch_size = 8;
+    const std::size_t total_samples = 64;
+    for (const Workload &wl : workloads) {
+        std::printf("\n==== executor dispatch arms: %s "
+                    "(Cs=%zu, L=%zu, batch=%zu) ====\n",
+                    wl.name, cs, window, batch_size);
+        std::printf("%8s %12s %9s\n", "arm", "samples/s", "speedup");
+        double scalar_rate = 0.0;
+        for (const simd::Arm arm : simd::availableArms()) {
+            simd::setActiveArm(arm);
+            crossbar::TileExecutor exec(window, false, 0.25, 1);
+            Rng data_rng(18);
+            std::vector<std::vector<int>> batch(
+                batch_size, std::vector<int>(wl.fanIn));
+            for (auto &sample : batch)
+                for (auto &a : sample)
+                    a = data_rng.bernoulli(0.5) ? 1 : -1;
+            const std::size_t reps =
+                (total_samples + batch_size - 1) / batch_size;
+            const auto t0 = clock::now();
+            for (std::size_t r = 0; r < reps; ++r) {
+                std::vector<std::vector<int>> acts = batch;
+                for (const auto &layer : wl.layers)
+                    acts = exec.forward(layer, acts, data_rng);
+                benchmark::DoNotOptimize(acts);
+            }
+            const double secs =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+            const double rate =
+                static_cast<double>(reps * batch_size) / secs;
+            if (arm == simd::Arm::Scalar)
+                scalar_rate = rate;
+            std::printf("%8s %12.1f %8.2fx\n", simd::armName(arm),
+                        rate, rate / scalar_rate);
+        }
+    }
+    simd::setActiveArm(previous);
+}
+
 } // namespace
 
 int
@@ -356,11 +513,23 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    // One BM_XnorPopcountArm instance per arm this host supports
+    // (static registration would emit skip errors for missing ISAs).
+    for (const simd::Arm arm : simd::availableArms()) {
+        const std::string name =
+            std::string("BM_XnorPopcountArm/") + simd::armName(arm);
+        benchmark::RegisterBenchmark(name.c_str(), BM_XnorPopcountArm,
+                                     arm)
+            ->Arg(1024)
+            ->Arg(4096);
+    }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (full_run) {
         reportPackedSpeedup();
+        reportSimdArmSweep();
         reportThreadBatchSweep();
+        reportSimdWorkloadSweep();
     }
     return 0;
 }

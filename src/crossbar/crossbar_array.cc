@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simd/kernels.h"
+
 namespace superbnn::crossbar {
 
 CrossbarArray::CrossbarArray(std::size_t size,
@@ -12,7 +14,8 @@ CrossbarArray::CrossbarArray(std::size_t size,
       unitCurrent(attenuation.currentForValueOne(
           static_cast<double>(size))),
       cells(size * size),
-      neurons(size, NeuronCircuit(delta_iin_ua, 0.0))
+      neurons(size, NeuronCircuit(delta_iin_ua, 0.0)),
+      weightCache(size * size, 0)
 {
     assert(size >= 1);
 }
@@ -37,10 +40,11 @@ CrossbarArray::programWeights(const std::vector<std::vector<int>> &weights)
     assert(weights.size() <= size_);
     for (auto &c : cells)
         c.clear();
+    std::fill(weightCache.begin(), weightCache.end(), 0);
     for (std::size_t r = 0; r < weights.size(); ++r) {
         assert(weights[r].size() <= size_);
         for (std::size_t c = 0; c < weights[r].size(); ++c)
-            cell(r, c).program(weights[r][c]);
+            programCell(r, c, weights[r][c]);
     }
 }
 
@@ -48,6 +52,7 @@ void
 CrossbarArray::programCell(std::size_t row, std::size_t col, int weight)
 {
     cell(row, col).program(weight);
+    weightCache[row * size_ + col] = weight;
 }
 
 void
@@ -78,18 +83,29 @@ CrossbarArray::columnSum(std::size_t col,
     return sum;
 }
 
+void
+CrossbarArray::accumulateColumnSums(int *sums,
+                                    const std::vector<int> &activations)
+    const
+{
+    const std::size_t rows = std::min(activations.size(), size_);
+    const simd::KernelSet &kernels = simd::active();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const int a = activations[r];
+        // Same contract the per-cell LimCell::multiply path asserted.
+        assert(a >= -1 && a <= 1);
+        if (a == 0)
+            continue; // undriven padding row: no current pulses
+        kernels.accumulateColumnSums(
+            sums, weightCache.data() + r * size_, a, size_);
+    }
+}
+
 std::vector<int>
 CrossbarArray::columnSums(const std::vector<int> &activations) const
 {
     std::vector<int> sums(size_, 0);
-    const std::size_t rows = std::min(activations.size(), size_);
-    for (std::size_t r = 0; r < rows; ++r) {
-        const int a = activations[r];
-        const LimCell *row = &cells[r * size_];
-        for (std::size_t c = 0; c < size_; ++c)
-            if (row[c].active())
-                sums[c] += row[c].multiply(a);
-    }
+    accumulateColumnSums(sums.data(), activations);
     return sums;
 }
 
@@ -98,10 +114,8 @@ CrossbarArray::columnSumsBatch(
     const std::vector<std::vector<int>> &batch) const
 {
     std::vector<int> sums(batch.size() * size_, 0);
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-        const std::vector<int> one = columnSums(batch[b]);
-        std::copy(one.begin(), one.end(), sums.begin() + b * size_);
-    }
+    for (std::size_t b = 0; b < batch.size(); ++b)
+        accumulateColumnSums(sums.data() + b * size_, batch[b]);
     return sums;
 }
 
@@ -218,9 +232,10 @@ CrossbarArray::injectStuckCells(double fraction, Rng &rng)
 {
     assert(fraction >= 0.0 && fraction <= 1.0);
     std::size_t knocked = 0;
-    for (auto &c : cells) {
-        if (c.active() && rng.bernoulli(fraction)) {
-            c.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].active() && rng.bernoulli(fraction)) {
+            cells[i].clear();
+            weightCache[i] = 0;
             ++knocked;
         }
     }

@@ -75,9 +75,10 @@ class CrossbarArray
                   const std::vector<int> &activations) const;
 
     /**
-     * All column sums in one row-major pass over the cell array
-     * (cache-friendly, unlike per-column strided reads); feeds
-     * evaluate/observe/columnProbabilities.
+     * All column sums in one row-major pass over the effective-weight
+     * cache (+1/-1 programmed, 0 inactive), with each row's
+     * contribution vectorized through the simd::KernelSet column-sum
+     * kernel; feeds evaluate/observe/columnProbabilities.
      */
     std::vector<int> columnSums(const std::vector<int> &activations) const;
 
@@ -154,8 +155,26 @@ class CrossbarArray
     std::vector<LimCell> cells;          // row-major size_ x size_
     std::vector<NeuronCircuit> neurons;  // one per column
 
+    /**
+     * Row-major effective weights mirroring `cells`: +1/-1 for a
+     * programmed cell, 0 for an inactive one — exactly
+     * LimCell::multiply(1) — kept in sync by every cell mutator so the
+     * column-sum kernels run on a flat int array.
+     */
+    std::vector<int> weightCache;
+
     LimCell &cell(std::size_t r, std::size_t c);
     const LimCell &cell(std::size_t r, std::size_t c) const;
+
+    /**
+     * Shared inner loop of columnSums/columnSumsBatch: add every
+     * activation row's contribution into sums[0..size_), via the
+     * simd::KernelSet column-sum kernel. Activations must be in
+     * {-1, 0, +1} (asserted in debug builds, matching the per-cell
+     * LimCell::multiply contract).
+     */
+    void accumulateColumnSums(int *sums,
+                              const std::vector<int> &activations) const;
 };
 
 } // namespace superbnn::crossbar

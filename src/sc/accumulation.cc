@@ -27,7 +27,9 @@ AccumulationModule::rawCount(
     // The APC is applied per clock cycle, but both counters are
     // cycle-separable given the fixed input pairing, so the window total
     // is computed word-at-a-time on the packed streams instead of
-    // transposing into per-cycle byte slices.
+    // transposing into per-cycle byte slices. The word loops live in the
+    // counters, which run them through the simd::KernelSet popcount
+    // kernels (bit-exact on every dispatch arm).
     return useExact ? exact.countStreams(streams)
                     : approx.countStreams(streams);
 }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "simd/kernels.h"
+
 namespace superbnn::sc {
 
 ParallelCounter::ParallelCounter(std::size_t inputs) : inputs_(inputs)
@@ -38,11 +40,8 @@ namespace {
 inline std::size_t
 popcountView(const StreamView &v)
 {
-    const std::size_t words = detail::wordsForLength(v.length);
-    std::size_t ones = 0;
-    for (std::size_t w = 0; w < words; ++w)
-        ones += detail::popcountWord(v.words[w]);
-    return ones;
+    return simd::active().popcountWords(
+        v.words, detail::wordsForLength(v.length));
 }
 
 } // namespace
@@ -118,10 +117,8 @@ ApproxParallelCounter::countStreams(
         assert(a.length() == b.length());
         if (p < droppedPairs_) {
             // Carry path dropped: each cycle contributes (a | b).
-            const auto &wa = a.words();
-            const auto &wb = b.words();
-            for (std::size_t w = 0; w < wa.size(); ++w)
-                ones += detail::popcountWord(wa[w] | wb[w]);
+            ones += simd::active().orPopcountWords(
+                a.words().data(), b.words().data(), a.words().size());
         } else {
             ones += a.popcount() + b.popcount();
         }
@@ -142,11 +139,10 @@ ApproxParallelCounter::countStreams(
         const StreamView &a = streams[2 * p];
         const StreamView &b = streams[2 * p + 1];
         assert(a.length == b.length);
-        const std::size_t words = detail::wordsForLength(a.length);
         if (p < droppedPairs_) {
             // Carry path dropped: each cycle contributes (a | b).
-            for (std::size_t w = 0; w < words; ++w)
-                ones += detail::popcountWord(a.words[w] | b.words[w]);
+            ones += simd::active().orPopcountWords(
+                a.words, b.words, detail::wordsForLength(a.length));
         } else {
             ones += popcountView(a) + popcountView(b);
         }

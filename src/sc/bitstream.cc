@@ -4,11 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/kernels.h"
+
 namespace superbnn::sc {
 
 namespace {
-
-using detail::popcountWord;
 
 inline std::size_t
 wordsFor(std::size_t length)
@@ -52,19 +52,23 @@ bernoulliFill(std::uint64_t *words, std::size_t length, double p,
     const std::uint64_t threshold =
         static_cast<std::uint64_t>(std::ldexp(p, 64));
     auto &engine = rng.raw();
+    const simd::KernelSet &kernels = simd::active();
+    // The engine is drained into a word-sized buffer here (one draw per
+    // bit, stream order) so every dispatch arm consumes identical
+    // entropy; only the compare-and-pack step is arm-specific.
+    std::uint64_t draws[Bitstream::kWordBits];
     const std::size_t full = length / kWordBits;
     for (std::size_t w = 0; w < full; ++w) {
-        std::uint64_t word = 0;
         for (std::size_t b = 0; b < kWordBits; ++b)
-            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
-        words[w] = word;
+            draws[b] = engine();
+        words[w] =
+            kernels.packThresholdWord(draws, kWordBits, threshold);
     }
     const std::size_t tail = length % kWordBits;
     if (tail != 0) {
-        std::uint64_t word = 0;
         for (std::size_t b = 0; b < tail; ++b)
-            word |= static_cast<std::uint64_t>(engine() < threshold) << b;
-        words[full] = word;
+            draws[b] = engine();
+        words[full] = kernels.packThresholdWord(draws, tail, threshold);
     }
 }
 
@@ -140,10 +144,7 @@ Bitstream::requireSameLength(const Bitstream &other) const
 std::size_t
 Bitstream::popcount() const
 {
-    std::size_t ones = 0;
-    for (const std::uint64_t w : words_)
-        ones += popcountWord(w);
-    return ones;
+    return simd::active().popcountWords(words_.data(), words_.size());
 }
 
 double
@@ -181,25 +182,16 @@ std::size_t
 Bitstream::xnorPopcount(const Bitstream &other) const
 {
     requireSameLength(other);
-    if (words_.empty())
-        return 0;
-    std::size_t ones = 0;
-    const std::size_t last = words_.size() - 1;
-    for (std::size_t w = 0; w < last; ++w)
-        ones += popcountWord(~(words_[w] ^ other.words_[w]));
-    ones += popcountWord(~(words_[last] ^ other.words_[last])
-                         & tailMask());
-    return ones;
+    return simd::active().xnorPopcountWords(
+        words_.data(), other.words_.data(), words_.size(), tailMask());
 }
 
 std::size_t
 Bitstream::andPopcount(const Bitstream &other) const
 {
     requireSameLength(other);
-    std::size_t ones = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        ones += popcountWord(words_[w] & other.words_[w]);
-    return ones;
+    return simd::active().andPopcountWords(
+        words_.data(), other.words_.data(), words_.size());
 }
 
 std::string

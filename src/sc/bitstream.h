@@ -10,8 +10,10 @@
  * Storage is word-packed: 64 bits per std::uint64_t, least-significant bit
  * first, with the unused tail bits of the last word held at zero (the tail
  * invariant). All bulk operations — XNOR, AND, popcount, decode, Bernoulli
- * generation — run word-at-a-time, which is what makes the crossbar
- * executor's observe/accumulate hot path fast.
+ * generation — run word-at-a-time through the simd::KernelSet dispatch
+ * table (simd/kernels.h), so the crossbar executor's observe/accumulate
+ * hot path picks up AVX2/AVX-512/NEON automatically with bit-identical
+ * results on every arm.
  */
 
 #ifndef SUPERBNN_SC_BITSTREAM_H
@@ -56,7 +58,10 @@ std::size_t wordsForLength(std::size_t length);
  * shared by Bitstream::bernoulli and BitstreamBatch::bernoulli, so the
  * two produce bit-identical streams from equal RNG states (the batched
  * executor's exactness guarantee leans on this). p <= 0 and p >= 1
- * write constant streams without consuming any RNG draws.
+ * write constant streams without consuming any RNG draws. The RNG is
+ * drained in stream order into a draw buffer; only the compare-and-pack
+ * step runs through the simd::KernelSet dispatch, so the output is
+ * bit-identical on every arm.
  */
 void bernoulliFill(std::uint64_t *words, std::size_t length, double p,
                    Rng &rng);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simd/kernels.h"
+
 namespace superbnn::sc {
 
 BitstreamBatch::BitstreamBatch(std::size_t batch, std::size_t length)
@@ -48,11 +50,7 @@ std::size_t
 BitstreamBatch::popcount(std::size_t b) const
 {
     assert(b < batch_);
-    const std::uint64_t *w = words(b);
-    std::size_t ones = 0;
-    for (std::size_t i = 0; i < stride; ++i)
-        ones += detail::popcountWord(w[i]);
-    return ones;
+    return simd::active().popcountWords(words(b), stride);
 }
 
 double

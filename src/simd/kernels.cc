@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Kernel dispatch: CPU feature detection, the SUPERBNN_SIMD environment
+ * override, and the active-table plumbing the hot paths call through.
+ * Compiled with baseline flags — only the per-arm TUs see ISA flags.
+ */
+
+#include "simd/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels_impl.h"
+
+namespace superbnn::simd {
+
+namespace {
+
+/**
+ * Host CPU support for an arm's ISA, independent of what was compiled.
+ * Scalar is always supported; NEON is mandatory on AArch64 (the only
+ * target its TU compiles for), so a compiled NEON table is always
+ * runnable.
+ */
+bool
+cpuSupports(Arm arm)
+{
+    switch (arm) {
+    case Arm::Scalar:
+    case Arm::Neon:
+        return true;
+    case Arm::Avx2:
+#if (defined(__x86_64__) || defined(__i386__))                         \
+    && (defined(__clang__)                                             \
+        || (defined(__GNUC__) && __GNUC__ >= 10))
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Arm::Avx512:
+#if (defined(__x86_64__) || defined(__i386__))                         \
+    && (defined(__clang__)                                             \
+        || (defined(__GNUC__) && __GNUC__ >= 10))
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx512f") != 0
+            && __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+/** Compiled-in table for an arm (nullptr when the TU is a stub). */
+const KernelSet *
+compiledTable(Arm arm)
+{
+    switch (arm) {
+    case Arm::Scalar:
+        return detail::scalarKernels();
+    case Arm::Avx2:
+        return detail::avx2Kernels();
+    case Arm::Avx512:
+        return detail::avx512Kernels();
+    case Arm::Neon:
+        return detail::neonKernels();
+    }
+    return nullptr;
+}
+
+/** Preference order for automatic selection, best first. */
+constexpr Arm kPreference[] = {Arm::Avx512, Arm::Avx2, Arm::Neon,
+                               Arm::Scalar};
+
+const KernelSet *
+bestAvailable()
+{
+    for (const Arm arm : kPreference)
+        if (const KernelSet *k = kernelsFor(arm))
+            return k;
+    return detail::scalarKernels();
+}
+
+/**
+ * Startup selection: SUPERBNN_SIMD override when set and runnable,
+ * otherwise the best available arm. An unknown or unavailable value
+ * gets a one-line stderr notice and the automatic choice, mirroring
+ * how SUPERBNN_THREADS ignores unusable values.
+ */
+const KernelSet *
+initialTable()
+{
+    if (const char *env = std::getenv("SUPERBNN_SIMD")) {
+        Arm requested;
+        if (armFromName(env, requested)) {
+            if (const KernelSet *k = kernelsFor(requested))
+                return k;
+            std::fprintf(stderr,
+                         "superbnn: SUPERBNN_SIMD=%s not available on "
+                         "this host; using %s\n",
+                         env, bestAvailable()->name);
+        } else {
+            std::fprintf(stderr,
+                         "superbnn: unknown SUPERBNN_SIMD value '%s' "
+                         "(want scalar|avx2|avx512|neon); using %s\n",
+                         env, bestAvailable()->name);
+        }
+    }
+    return bestAvailable();
+}
+
+/**
+ * The active-table slot. The magic-static initialization is
+ * thread-safe; afterwards the pointer only changes via setActiveArm
+ * (single-threaded setup code by contract).
+ */
+const KernelSet *&
+activeSlot()
+{
+    static const KernelSet *slot = initialTable();
+    return slot;
+}
+
+} // namespace
+
+const KernelSet &
+active()
+{
+    return *activeSlot();
+}
+
+Arm
+activeArm()
+{
+    const KernelSet *current = activeSlot();
+    for (const Arm arm : kPreference)
+        if (compiledTable(arm) == current)
+            return arm;
+    return Arm::Scalar;
+}
+
+bool
+setActiveArm(Arm arm)
+{
+    const KernelSet *k = kernelsFor(arm);
+    if (k == nullptr)
+        return false;
+    activeSlot() = k;
+    return true;
+}
+
+const KernelSet *
+kernelsFor(Arm arm)
+{
+    const KernelSet *k = compiledTable(arm);
+    if (k == nullptr || !cpuSupports(arm))
+        return nullptr;
+    return k;
+}
+
+std::vector<Arm>
+availableArms()
+{
+    std::vector<Arm> arms{Arm::Scalar};
+    for (const Arm arm : kPreference)
+        if (arm != Arm::Scalar && kernelsFor(arm) != nullptr)
+            arms.push_back(arm);
+    return arms;
+}
+
+const char *
+armName(Arm arm)
+{
+    switch (arm) {
+    case Arm::Scalar:
+        return "scalar";
+    case Arm::Avx2:
+        return "avx2";
+    case Arm::Avx512:
+        return "avx512";
+    case Arm::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool
+armFromName(const char *name, Arm &out)
+{
+    if (name == nullptr)
+        return false;
+    for (const Arm arm :
+         {Arm::Scalar, Arm::Avx2, Arm::Avx512, Arm::Neon}) {
+        if (std::strcmp(name, armName(arm)) == 0) {
+            out = arm;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace superbnn::simd

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the stochastic-computing hot path.
+ *
+ * The word-packed SC pipeline spends nearly all of its time in a handful
+ * of word-loop primitives: fused XNOR/AND/OR+popcount over packed
+ * bitstream words, plain popcount, packing Bernoulli threshold
+ * comparisons into stream words, and the crossbar column-sum inner loop.
+ * This layer provides one KernelSet of function pointers per
+ * implementation arm — portable scalar, AVX2, AVX-512 (VPOPCNTDQ), and
+ * NEON — and selects the best arm the host CPU supports once at startup.
+ *
+ * Every arm is **bit-identical** to the scalar reference: popcounts are
+ * exact and the Bernoulli packing compares the same raw RNG draws
+ * against the same fixed-point threshold in the same order, so switching
+ * arms never changes a simulation result, only its speed.
+ *
+ * Selection order is avx512 > avx2 > neon > scalar among the arms that
+ * are both compiled in and supported by the running CPU. The
+ * `SUPERBNN_SIMD` environment variable (values `scalar`, `avx2`,
+ * `avx512`, `neon`) overrides the choice, mirroring `SUPERBNN_THREADS`;
+ * naming an arm the host cannot run falls back to the best available
+ * arm with a one-line notice on stderr.
+ *
+ * ISA-specific translation units are compiled with per-file `-m` flags
+ * (see the root CMakeLists) and contain only intrinsic leaf functions on
+ * builtin types — never inline library templates — so no AVX code can
+ * leak into a baseline object through the one-definition rule.
+ */
+
+#ifndef SUPERBNN_SIMD_KERNELS_H
+#define SUPERBNN_SIMD_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace superbnn::simd {
+
+/** Implementation arms a KernelSet can be built from. */
+enum class Arm
+{
+    Scalar, ///< portable C++ (always available; the reference semantics)
+    Avx2,   ///< 256-bit vpshufb nibble-LUT popcount (x86 AVX2)
+    Avx512, ///< 512-bit native vpopcntq (x86 AVX-512F + VPOPCNTDQ)
+    Neon,   ///< 128-bit vcntq_u8 popcount (AArch64)
+};
+
+/**
+ * One arm's implementations of the word-loop primitives. All pointers
+ * are non-null in any table returned by this layer, and all arms
+ * produce bit-identical results (popcounts are exact; packing preserves
+ * draw order).
+ */
+struct KernelSet
+{
+    /** Arm name as spelled in SUPERBNN_SIMD ("scalar", "avx2", ...). */
+    const char *name;
+
+    /**
+     * Number of set bits across words[0..n). The caller guarantees any
+     * out-of-range tail bits are already zero (the Bitstream tail
+     * invariant), so no mask is needed.
+     */
+    std::size_t (*popcountWords)(const std::uint64_t *words,
+                                 std::size_t n);
+
+    /**
+     * popcount of ~(a[i] ^ b[i]) over n words, with the final word
+     * masked by @p tail_mask (XNOR turns zero tail bits into ones, so
+     * the mask restores the in-range count). n == 0 returns 0;
+     * otherwise tail_mask applies to word n-1.
+     */
+    std::size_t (*xnorPopcountWords)(const std::uint64_t *a,
+                                     const std::uint64_t *b,
+                                     std::size_t n,
+                                     std::uint64_t tail_mask);
+
+    /** popcount of a[i] & b[i] over n words (zero tails stay zero). */
+    std::size_t (*andPopcountWords)(const std::uint64_t *a,
+                                    const std::uint64_t *b,
+                                    std::size_t n);
+
+    /**
+     * popcount of a[i] | b[i] over n words — the approximate parallel
+     * counter's dropped-pair path (zero tails stay zero).
+     */
+    std::size_t (*orPopcountWords)(const std::uint64_t *a,
+                                   const std::uint64_t *b,
+                                   std::size_t n);
+
+    /**
+     * Pack Bernoulli threshold comparisons into one stream word: bit b
+     * of the result is (draws[b] < threshold), LSB-first, for
+     * b < count <= 64; bits at count and above are zero. The RNG draw
+     * order lives in the caller, so every arm consumes identical
+     * entropy — the bit-exactness contract of Bernoulli generation.
+     */
+    std::uint64_t (*packThresholdWord)(const std::uint64_t *draws,
+                                       std::size_t count,
+                                       std::uint64_t threshold);
+
+    /**
+     * Crossbar column-sum inner loop: sums[c] += activation *
+     * weights[c] for c in [0, n). Weights are the effective LiM cell
+     * weights (+1/-1 programmed, 0 inactive), so this is exactly one
+     * activation row's contribution to every column.
+     */
+    void (*accumulateColumnSums)(int *sums, const int *weights,
+                                 int activation, std::size_t n);
+};
+
+/**
+ * The dispatch table the hot paths call through. First use selects the
+ * best arm the CPU supports, honoring the SUPERBNN_SIMD override.
+ * Thread-safe to call concurrently; see setActiveArm for mutation.
+ */
+const KernelSet &active();
+
+/** The arm active() currently dispatches to. */
+Arm activeArm();
+
+/**
+ * Force the active table to @p arm (used by the differential tests and
+ * the microbench arm sweep). Returns false — leaving the active table
+ * unchanged — when the arm is not available on this host. Not
+ * synchronized against concurrent hot-path use; call it only from
+ * single-threaded setup code.
+ */
+bool setActiveArm(Arm arm);
+
+/**
+ * The table for one arm, or nullptr when the arm is not compiled in or
+ * the running CPU lacks the ISA. kernelsFor(Arm::Scalar) never returns
+ * nullptr.
+ */
+const KernelSet *kernelsFor(Arm arm);
+
+/** Arms available on this host, scalar first, in selection order. */
+std::vector<Arm> availableArms();
+
+/** SUPERBNN_SIMD spelling of an arm ("scalar", "avx2", ...). */
+const char *armName(Arm arm);
+
+/**
+ * Parse a SUPERBNN_SIMD value. Returns true and sets @p out on a known
+ * spelling; false (out untouched) otherwise.
+ */
+bool armFromName(const char *name, Arm &out);
+
+} // namespace superbnn::simd
+
+#endif // SUPERBNN_SIMD_KERNELS_H

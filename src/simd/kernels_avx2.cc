@@ -1,0 +1,254 @@
+/**
+ * @file
+ * AVX2 arm. Word popcounts use the vpshufb nibble-LUT ("Mula")
+ * algorithm — per 256-bit lane: split each byte into nibbles, look both
+ * up in a 16-entry bit-count table, add, then horizontally sum the
+ * bytes with vpsadbw into four 64-bit partials. Bernoulli packing maps
+ * four unsigned 64-bit threshold comparisons to sign bits via a bias
+ * flip + vpcmpgtq and harvests them with vmovmskpd.
+ *
+ * Compiled with a per-file -mavx2 (see CMakeLists). The TU is a stub on
+ * non-x86 targets or compilers without the flag. Only intrinsic leaf
+ * functions on builtin types live here — no library templates — so no
+ * AVX2 code can be picked for a baseline TU's inline symbol by the
+ * linker.
+ */
+
+#include "simd/kernels_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace superbnn::simd::detail {
+
+namespace {
+
+inline std::size_t
+popcount64(std::uint64_t w)
+{
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+}
+
+/**
+ * Below this word count the vector setup + horizontal reduction costs
+ * more than it saves (measured crossover on the microbench arm sweep);
+ * the kernels run their plain scalar tail loop instead.
+ */
+constexpr std::size_t kMinVectorWords = 8;
+
+/** Per-64-bit-lane popcount of one 256-bit vector (4 x u64 partials). */
+inline __m256i
+popcount256(__m256i v)
+{
+    const __m256i lookup = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i cnt =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                        _mm256_shuffle_epi8(lookup, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::size_t
+horizontalSum(__m256i acc)
+{
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2]
+                                    + lanes[3]);
+}
+
+std::size_t
+popcountWords(const std::uint64_t *words, std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(words[i]);
+        return ones;
+    }
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4)
+        acc = _mm256_add_epi64(
+            acc, popcount256(_mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(words + i))));
+    std::size_t ones = horizontalSum(acc);
+    for (; i < n; ++i)
+        ones += popcount64(words[i]);
+    return ones;
+}
+
+inline std::size_t
+xnorPopcountBulk(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(~(a[i] ^ b[i]));
+        return ones;
+    }
+    __m256i acc = _mm256_setzero_si256();
+    const __m256i all_ones = _mm256_set1_epi64x(-1);
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i x =
+            _mm256_xor_si256(_mm256_xor_si256(va, vb), all_ones);
+        acc = _mm256_add_epi64(acc, popcount256(x));
+    }
+    std::size_t ones = horizontalSum(acc);
+    for (; i < n; ++i)
+        ones += popcount64(~(a[i] ^ b[i]));
+    return ones;
+}
+
+std::size_t
+xnorPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n, std::uint64_t tail_mask)
+{
+    if (n == 0)
+        return 0;
+    if (tail_mask == ~std::uint64_t{0})
+        return xnorPopcountBulk(a, b, n);
+    return xnorPopcountBulk(a, b, n - 1)
+        + popcount64(~(a[n - 1] ^ b[n - 1]) & tail_mask);
+}
+
+std::size_t
+andPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(a[i] & b[i]);
+        return ones;
+    }
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_add_epi64(acc,
+                               popcount256(_mm256_and_si256(va, vb)));
+    }
+    std::size_t ones = horizontalSum(acc);
+    for (; i < n; ++i)
+        ones += popcount64(a[i] & b[i]);
+    return ones;
+}
+
+std::size_t
+orPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(a[i] | b[i]);
+        return ones;
+    }
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_add_epi64(acc,
+                               popcount256(_mm256_or_si256(va, vb)));
+    }
+    std::size_t ones = horizontalSum(acc);
+    for (; i < n; ++i)
+        ones += popcount64(a[i] | b[i]);
+    return ones;
+}
+
+std::uint64_t
+packThresholdWord(const std::uint64_t *draws, std::size_t count,
+                  std::uint64_t threshold)
+{
+    // AVX2 has no unsigned 64-bit compare; biasing both sides by 2^63
+    // turns (draw < threshold) into a signed vpcmpgtq.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(std::uint64_t{1} << 63));
+    const __m256i th = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(threshold)), bias);
+    std::uint64_t word = 0;
+    std::size_t b = 0;
+    for (; b + 4 <= count; b += 4) {
+        const __m256i d = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(draws + b)),
+            bias);
+        const __m256i lt = _mm256_cmpgt_epi64(th, d);
+        word |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                    _mm256_movemask_pd(_mm256_castsi256_pd(lt))))
+            << b;
+    }
+    for (; b < count; ++b)
+        word |= static_cast<std::uint64_t>(draws[b] < threshold) << b;
+    return word;
+}
+
+void
+accumulateColumnSums(int *sums, const int *weights, int activation,
+                     std::size_t n)
+{
+    static_assert(sizeof(int) == 4, "32-bit int assumed");
+    const __m256i va = _mm256_set1_epi32(activation);
+    std::size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(sums + c));
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(weights + c));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(sums + c),
+            _mm256_add_epi32(s, _mm256_mullo_epi32(w, va)));
+    }
+    for (; c < n; ++c)
+        sums[c] += activation * weights[c];
+}
+
+constexpr KernelSet kTable = {
+    "avx2",          popcountWords,     xnorPopcountWords,
+    andPopcountWords, orPopcountWords,  packThresholdWord,
+    accumulateColumnSums,
+};
+
+} // namespace
+
+const KernelSet *
+avx2Kernels()
+{
+    return &kTable;
+}
+
+} // namespace superbnn::simd::detail
+
+#else // !__AVX2__
+
+namespace superbnn::simd::detail {
+
+const KernelSet *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace superbnn::simd::detail
+
+#endif

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * AVX-512 arm: native 64-bit lane popcount (vpopcntq from the
+ * VPOPCNTDQ extension) over 512-bit vectors, unsigned 64-bit compares
+ * straight to mask registers for Bernoulli packing, and 16-lane fused
+ * multiply-accumulate for the column-sum loop.
+ *
+ * Compiled with per-file -mavx512f -mavx512vpopcntdq (see CMakeLists);
+ * a stub elsewhere. Intrinsic leaf functions only — see kernels_avx2.cc
+ * for the one-definition-rule rationale.
+ */
+
+#include "simd/kernels_impl.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+// GCC's AVX-512 headers trip -W(maybe-)uninitialized on their internal
+// _mm512_undefined_* idiom (GCC PR 105593); silence it for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+namespace superbnn::simd::detail {
+
+namespace {
+
+inline std::size_t
+popcount64(std::uint64_t w)
+{
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+}
+
+/**
+ * Below this word count the 512-bit vector setup + reduction costs
+ * more than it saves (measured crossover on the microbench arm sweep);
+ * the kernels run their plain scalar tail loop instead.
+ */
+constexpr std::size_t kMinVectorWords = 16;
+
+std::size_t
+popcountWords(const std::uint64_t *words, std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(words[i]);
+        return ones;
+    }
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+    std::size_t ones =
+        static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i)
+        ones += popcount64(words[i]);
+    return ones;
+}
+
+inline std::size_t
+xnorPopcountBulk(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(~(a[i] ^ b[i]));
+        return ones;
+    }
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8) {
+        const __m512i vb = _mm512_loadu_si512(b + i);
+        // Truth-table 0xC3 is ~(A ^ B) for any third operand: one
+        // vpternlogq replaces the xor+not pair.
+        const __m512i x = _mm512_ternarylogic_epi64(
+            _mm512_loadu_si512(a + i), vb, vb, 0xC3);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+    }
+    std::size_t ones =
+        static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i)
+        ones += popcount64(~(a[i] ^ b[i]));
+    return ones;
+}
+
+std::size_t
+xnorPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n, std::uint64_t tail_mask)
+{
+    if (n == 0)
+        return 0;
+    if (tail_mask == ~std::uint64_t{0})
+        return xnorPopcountBulk(a, b, n);
+    return xnorPopcountBulk(a, b, n - 1)
+        + popcount64(~(a[n - 1] ^ b[n - 1]) & tail_mask);
+}
+
+std::size_t
+andPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(a[i] & b[i]);
+        return ones;
+    }
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(
+                     _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                      _mm512_loadu_si512(b + i))));
+    std::size_t ones =
+        static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i)
+        ones += popcount64(a[i] & b[i]);
+    return ones;
+}
+
+std::size_t
+orPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    std::size_t i = 0;
+    if (n < kMinVectorWords) {
+        std::size_t ones = 0;
+        for (; i < n; ++i)
+            ones += popcount64(a[i] | b[i]);
+        return ones;
+    }
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(
+                     _mm512_or_si512(_mm512_loadu_si512(a + i),
+                                     _mm512_loadu_si512(b + i))));
+    std::size_t ones =
+        static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i)
+        ones += popcount64(a[i] | b[i]);
+    return ones;
+}
+
+std::uint64_t
+packThresholdWord(const std::uint64_t *draws, std::size_t count,
+                  std::uint64_t threshold)
+{
+    const __m512i th = _mm512_set1_epi64(
+        static_cast<long long>(threshold));
+    std::uint64_t word = 0;
+    std::size_t b = 0;
+    for (; b + 8 <= count; b += 8) {
+        const __mmask8 lt =
+            _mm512_cmplt_epu64_mask(_mm512_loadu_si512(draws + b), th);
+        word |= static_cast<std::uint64_t>(lt) << b;
+    }
+    for (; b < count; ++b)
+        word |= static_cast<std::uint64_t>(draws[b] < threshold) << b;
+    return word;
+}
+
+void
+accumulateColumnSums(int *sums, const int *weights, int activation,
+                     std::size_t n)
+{
+    static_assert(sizeof(int) == 4, "32-bit int assumed");
+    const __m512i va = _mm512_set1_epi32(activation);
+    std::size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        const __m512i s = _mm512_loadu_si512(sums + c);
+        const __m512i w = _mm512_loadu_si512(weights + c);
+        _mm512_storeu_si512(
+            sums + c, _mm512_add_epi32(s, _mm512_mullo_epi32(w, va)));
+    }
+    for (; c < n; ++c)
+        sums[c] += activation * weights[c];
+}
+
+constexpr KernelSet kTable = {
+    "avx512",        popcountWords,     xnorPopcountWords,
+    andPopcountWords, orPopcountWords,  packThresholdWord,
+    accumulateColumnSums,
+};
+
+} // namespace
+
+const KernelSet *
+avx512Kernels()
+{
+    return &kTable;
+}
+
+} // namespace superbnn::simd::detail
+
+#else // !(__AVX512F__ && __AVX512VPOPCNTDQ__)
+
+namespace superbnn::simd::detail {
+
+const KernelSet *
+avx512Kernels()
+{
+    return nullptr;
+}
+
+} // namespace superbnn::simd::detail
+
+#endif

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Internal registry interface between the dispatch TU (kernels.cc) and
+ * the per-arm implementation TUs. Each getter returns the arm's table
+ * when that TU was compiled with the matching ISA enabled, else
+ * nullptr (the TU compiles to an empty stub on other targets). CPU
+ * *support* is checked separately by the dispatcher; these only report
+ * what the build contains.
+ */
+
+#ifndef SUPERBNN_SIMD_KERNELS_IMPL_H
+#define SUPERBNN_SIMD_KERNELS_IMPL_H
+
+#include "simd/kernels.h"
+
+namespace superbnn::simd::detail {
+
+/** Portable reference table; never nullptr. */
+const KernelSet *scalarKernels();
+
+/** AVX2 table, or nullptr when not compiled with -mavx2. */
+const KernelSet *avx2Kernels();
+
+/** AVX-512 table, or nullptr without -mavx512f -mavx512vpopcntdq. */
+const KernelSet *avx512Kernels();
+
+/** NEON table, or nullptr when not targeting AArch64. */
+const KernelSet *neonKernels();
+
+} // namespace superbnn::simd::detail
+
+#endif // SUPERBNN_SIMD_KERNELS_IMPL_H

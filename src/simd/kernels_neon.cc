@@ -1,0 +1,167 @@
+/**
+ * @file
+ * NEON arm (AArch64): per-byte popcount with vcntq_u8 folded to a lane
+ * sum with vaddvq_u8, two 64-bit words per 128-bit vector. NEON is
+ * architecturally mandatory on AArch64, so when this TU compiles its
+ * arm is always runnable. 32-bit ARM falls back to scalar (no vaddvq
+ * and no guaranteed NEON).
+ *
+ * Intrinsic leaf functions only — see kernels_avx2.cc for the
+ * one-definition-rule rationale.
+ */
+
+#include "simd/kernels_impl.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace superbnn::simd::detail {
+
+namespace {
+
+inline std::size_t
+popcount64(std::uint64_t w)
+{
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+}
+
+/** Set bits in one 128-bit vector (fits in a u8: max 128). */
+inline std::size_t
+popcount128(uint8x16_t v)
+{
+    return static_cast<std::size_t>(vaddvq_u8(vcntq_u8(v)));
+}
+
+std::size_t
+popcountWords(const std::uint64_t *words, std::size_t n)
+{
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        ones += popcount128(vreinterpretq_u8_u64(vld1q_u64(words + i)));
+    for (; i < n; ++i)
+        ones += popcount64(words[i]);
+    return ones;
+}
+
+inline std::size_t
+xnorPopcountBulk(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t va = vld1q_u64(a + i);
+        const uint64x2_t vb = vld1q_u64(b + i);
+        const uint8x16_t x =
+            vmvnq_u8(vreinterpretq_u8_u64(veorq_u64(va, vb)));
+        ones += popcount128(x);
+    }
+    for (; i < n; ++i)
+        ones += popcount64(~(a[i] ^ b[i]));
+    return ones;
+}
+
+std::size_t
+xnorPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n, std::uint64_t tail_mask)
+{
+    if (n == 0)
+        return 0;
+    if (tail_mask == ~std::uint64_t{0})
+        return xnorPopcountBulk(a, b, n);
+    return xnorPopcountBulk(a, b, n - 1)
+        + popcount64(~(a[n - 1] ^ b[n - 1]) & tail_mask);
+}
+
+std::size_t
+andPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        ones += popcount128(vreinterpretq_u8_u64(
+            vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i))));
+    for (; i < n; ++i)
+        ones += popcount64(a[i] & b[i]);
+    return ones;
+}
+
+std::size_t
+orPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        ones += popcount128(vreinterpretq_u8_u64(
+            vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i))));
+    for (; i < n; ++i)
+        ones += popcount64(a[i] | b[i]);
+    return ones;
+}
+
+std::uint64_t
+packThresholdWord(const std::uint64_t *draws, std::size_t count,
+                  std::uint64_t threshold)
+{
+    const uint64x2_t th = vdupq_n_u64(threshold);
+    std::uint64_t word = 0;
+    std::size_t b = 0;
+    for (; b + 2 <= count; b += 2) {
+        // vcgtq_u64(th, d): all-ones lanes where draw < threshold.
+        const uint64x2_t lt = vcgtq_u64(th, vld1q_u64(draws + b));
+        word |= (vgetq_lane_u64(lt, 0) & 1u) << b;
+        word |= (vgetq_lane_u64(lt, 1) & 1u) << (b + 1);
+    }
+    for (; b < count; ++b)
+        word |= static_cast<std::uint64_t>(draws[b] < threshold) << b;
+    return word;
+}
+
+void
+accumulateColumnSums(int *sums, const int *weights, int activation,
+                     std::size_t n)
+{
+    static_assert(sizeof(int) == 4, "32-bit int assumed");
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        const int32x4_t s = vld1q_s32(sums + c);
+        const int32x4_t w = vld1q_s32(weights + c);
+        vst1q_s32(sums + c, vmlaq_n_s32(s, w, activation));
+    }
+    for (; c < n; ++c)
+        sums[c] += activation * weights[c];
+}
+
+constexpr KernelSet kTable = {
+    "neon",          popcountWords,     xnorPopcountWords,
+    andPopcountWords, orPopcountWords,  packThresholdWord,
+    accumulateColumnSums,
+};
+
+} // namespace
+
+const KernelSet *
+neonKernels()
+{
+    return &kTable;
+}
+
+} // namespace superbnn::simd::detail
+
+#else // !__aarch64__
+
+namespace superbnn::simd::detail {
+
+const KernelSet *
+neonKernels()
+{
+    return nullptr;
+}
+
+} // namespace superbnn::simd::detail
+
+#endif

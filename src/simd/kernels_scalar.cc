@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Portable scalar arm: the reference semantics every SIMD arm must
+ * reproduce bit-for-bit. Compiled with the library's baseline flags
+ * (hardware popcnt when available via -mpopcnt, see CMakeLists).
+ */
+
+#include "simd/kernels_impl.h"
+
+namespace superbnn::simd::detail {
+
+namespace {
+
+inline std::size_t
+popcount64(std::uint64_t w)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+#else
+    std::size_t n = 0;
+    while (w) {
+        w &= w - 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+std::size_t
+popcountWords(const std::uint64_t *words, std::size_t n)
+{
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += popcount64(words[i]);
+    return ones;
+}
+
+std::size_t
+xnorPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n, std::uint64_t tail_mask)
+{
+    if (n == 0)
+        return 0;
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        ones += popcount64(~(a[i] ^ b[i]));
+    ones += popcount64(~(a[n - 1] ^ b[n - 1]) & tail_mask);
+    return ones;
+}
+
+std::size_t
+andPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += popcount64(a[i] & b[i]);
+    return ones;
+}
+
+std::size_t
+orPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += popcount64(a[i] | b[i]);
+    return ones;
+}
+
+std::uint64_t
+packThresholdWord(const std::uint64_t *draws, std::size_t count,
+                  std::uint64_t threshold)
+{
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < count; ++b)
+        word |= static_cast<std::uint64_t>(draws[b] < threshold) << b;
+    return word;
+}
+
+void
+accumulateColumnSums(int *sums, const int *weights, int activation,
+                     std::size_t n)
+{
+    for (std::size_t c = 0; c < n; ++c)
+        sums[c] += activation * weights[c];
+}
+
+constexpr KernelSet kTable = {
+    "scalar",        popcountWords,     xnorPopcountWords,
+    andPopcountWords, orPopcountWords,  packThresholdWord,
+    accumulateColumnSums,
+};
+
+} // namespace
+
+const KernelSet *
+scalarKernels()
+{
+    return &kTable;
+}
+
+} // namespace superbnn::simd::detail

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Determinism probe for CI: runs a fixed multi-layer executor workload
+ * through the default (shared-pool) threading path and prints every
+ * output bit-exactly. The program's stdout must be byte-identical for
+ * any SUPERBNN_THREADS value and any SUPERBNN_SIMD arm — CI runs it
+ * under several settings and diffs the outputs, which catches a
+ * scheduling- or arm-dependent RNG regression that in-process tests
+ * structured around the same seeding scheme could miss.
+ *
+ * Nothing timing- or environment-dependent may be printed here.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "aqfp/attenuation.h"
+#include "crossbar/mapper.h"
+#include "crossbar/tile_executor.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+using namespace superbnn;
+
+namespace {
+
+crossbar::MappedLayer
+signedLayer(const crossbar::CrossbarMapper &mapper, std::size_t out,
+            std::size_t in, Rng &rng)
+{
+    Tensor w({out, in});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    crossbar::MappedLayer layer = mapper.map(w);
+    crossbar::CrossbarMapper::setThresholds(
+        layer, std::vector<double>(out, 0.0));
+    return layer;
+}
+
+} // namespace
+
+int
+main()
+{
+    const aqfp::AttenuationModel atten;
+    const crossbar::CrossbarMapper mapper(16, atten, 2.4);
+    Rng setup(7);
+    const crossbar::MappedLayer l1 = signedLayer(mapper, 48, 96, setup);
+    const crossbar::MappedLayer l2 = signedLayer(mapper, 10, 48, setup);
+
+    std::vector<std::vector<int>> batch(6, std::vector<int>(96));
+    for (auto &sample : batch)
+        for (auto &a : sample)
+            a = setup.bernoulli(0.5) ? 1 : -1;
+
+    // threads = 0: the shared ExecutorPool, sized by SUPERBNN_THREADS.
+    const crossbar::TileExecutor exec(16, false, 0.25, 0);
+
+    Rng rng(11);
+    const auto hidden = exec.forward(l1, batch, rng);
+    const auto scores = exec.forwardDecoded(l2, hidden, rng);
+
+    std::uint64_t fnv = 1469598103934665603ULL;
+    for (std::size_t b = 0; b < hidden.size(); ++b) {
+        std::printf("sample %zu hidden:", b);
+        for (const int v : hidden[b]) {
+            std::printf(" %d", v);
+            fnv = (fnv ^ static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(v)))
+                * 1099511628211ULL;
+        }
+        std::printf("\n");
+        std::printf("sample %zu scores:", b);
+        for (const double s : scores[b])
+            // %.17g round-trips doubles exactly.
+            std::printf(" %.17g", s);
+        std::printf("\n");
+    }
+    std::printf("hidden-fnv %llu\n",
+                static_cast<unsigned long long>(fnv));
+    return 0;
+}

@@ -2,13 +2,19 @@
  * @file
  * Google-benchmark microbenchmarks of the simulator kernels: gray-zone
  * sampling, crossbar column evaluation, the SC accumulation module, the
- * tile executor, and the tensor matmul underlying training — plus a
- * packed-vs-reference comparison of the SC XNOR+popcount hot path.
+ * tile executor, and the tensor matmul underlying training — plus
+ * self-timed comparisons of the SC hot paths against their retired
+ * baselines: packed vs byte-per-bit XNOR+popcount, counter-based vs
+ * mt19937 Bernoulli fill, and shared-pool vs private-pool executor
+ * construction.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 
 #include <benchmark/benchmark.h>
@@ -17,8 +23,10 @@
 #include "crossbar/mapper.h"
 #include "crossbar/tile_executor.h"
 #include "sc/accumulation.h"
+#include "sc/bitstream.h"
 #include "simd/kernels.h"
 #include "tensor/tensor_ops.h"
+#include "util/executor_pool.h"
 
 using namespace superbnn;
 
@@ -195,6 +203,74 @@ BM_XnorPopcountArm(benchmark::State &state, simd::Arm arm)
     simd::setActiveArm(previous);
 }
 
+/**
+ * Counter-based Bernoulli fill pinned to one dispatch arm; registered
+ * dynamically in main() per available arm. The stream seed is fixed,
+ * the counter advances across iterations — exactly the executor's
+ * observe pattern.
+ */
+void
+BM_BernoulliFillArm(benchmark::State &state, simd::Arm arm)
+{
+    const std::size_t window = static_cast<std::size_t>(state.range(0));
+    const simd::Arm previous = simd::activeArm();
+    simd::setActiveArm(arm);
+    std::vector<std::uint64_t> words(
+        sc::detail::wordsForLength(window));
+    sc::detail::CounterStream stream{0x5eedULL, 0};
+    for (auto _ : state) {
+        sc::detail::bernoulliFill(words.data(), window, 0.37, stream);
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * window);
+    simd::setActiveArm(previous);
+}
+
+/**
+ * The PR-3 Bernoulli fill, kept as the measured baseline: a serial
+ * mt19937_64 draw per bit into a word-sized buffer, packed through the
+ * packThresholdWord kernel. (The library no longer runs this path;
+ * reportBernoulliSpeedup compares against it.)
+ */
+void
+legacyBernoulliFill(std::uint64_t *words, std::size_t length, double p,
+                    std::mt19937_64 &engine)
+{
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(std::ldexp(p, 64));
+    const simd::KernelSet &kernels = simd::active();
+    std::uint64_t draws[64];
+    const std::size_t full = length / 64;
+    for (std::size_t w = 0; w < full; ++w) {
+        for (std::size_t b = 0; b < 64; ++b)
+            draws[b] = engine();
+        words[w] = kernels.packThresholdWord(draws, 64, threshold);
+    }
+    const std::size_t tail = length % 64;
+    if (tail != 0) {
+        for (std::size_t b = 0; b < tail; ++b)
+            draws[b] = engine();
+        words[full] = kernels.packThresholdWord(draws, tail, threshold);
+    }
+}
+
+void
+BM_BernoulliFillMt19937Ref(benchmark::State &state)
+{
+    const std::size_t window = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint64_t> words(
+        sc::detail::wordsForLength(window));
+    std::mt19937_64 engine(0x5eedULL);
+    for (auto _ : state) {
+        legacyBernoulliFill(words.data(), window, 0.37, engine);
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * window);
+}
+BENCHMARK(BM_BernoulliFillMt19937Ref)->Arg(64)->Arg(1024);
+
 void
 BM_XnorPopcountByteRef(benchmark::State &state)
 {
@@ -264,6 +340,122 @@ reportPackedSpeedup()
                     bits / byte_s / 1e9, bits / packed_s / 1e9,
                     byte_s / packed_s);
     }
+}
+
+/**
+ * Self-timed Bernoulli-fill summary: the PR-3 baseline (a fresh
+ * mt19937_64 per tile task — the 312-word init — plus one serial draw
+ * per bit) against the counter-based kernel (8-byte seed, vector-wide
+ * draws), both modeled as the executor's real unit of work: one
+ * (sample, tile) task filling Cs = 16 column streams of one window.
+ * Printed per dispatch arm so the table shows the seeding win and the
+ * vectorization win separately.
+ */
+void
+reportBernoulliSpeedup()
+{
+    using clock = std::chrono::steady_clock;
+    const std::size_t columns = 16; // Cs of the Table-2/3 workloads
+    std::printf("\n==== Bernoulli fill: mt19937 draw-buffer (PR 3) vs "
+                "counter kernel, per (sample, tile) task ====\n");
+    const simd::Arm previous = simd::activeArm();
+    for (const simd::Arm arm : simd::availableArms()) {
+        simd::setActiveArm(arm);
+        std::printf("[%s]\n", simd::armName(arm));
+        std::printf("%8s %18s %18s %9s\n", "window",
+                    "mt19937 (Gbit/s)", "counter (Gbit/s)", "speedup");
+        for (const std::size_t window : {16u, 64u, 256u, 1024u}) {
+            const std::size_t words =
+                sc::detail::wordsForLength(window);
+            std::vector<std::uint64_t> buf(words * columns);
+            const std::size_t task_bits = window * columns;
+            const std::size_t tasks = (std::size_t{1} << 26) / task_bits;
+
+            const auto t0 = clock::now();
+            for (std::size_t t = 0; t < tasks; ++t) {
+                std::mt19937_64 engine(t); // per-task seeding, as PR 3
+                for (std::size_t c = 0; c < columns; ++c)
+                    legacyBernoulliFill(buf.data() + c * words, window,
+                                        0.37, engine);
+                benchmark::DoNotOptimize(buf.data());
+            }
+            const auto t1 = clock::now();
+            for (std::size_t t = 0; t < tasks; ++t) {
+                sc::detail::CounterStream stream{t, 0};
+                for (std::size_t c = 0; c < columns; ++c)
+                    sc::detail::bernoulliFill(buf.data() + c * words,
+                                              window, 0.37, stream);
+                benchmark::DoNotOptimize(buf.data());
+            }
+            const auto t2 = clock::now();
+
+            const double legacy_s =
+                std::chrono::duration<double>(t1 - t0).count();
+            const double counter_s =
+                std::chrono::duration<double>(t2 - t1).count();
+            const double bits = static_cast<double>(tasks)
+                * static_cast<double>(task_bits);
+            std::printf("%8zu %18.2f %18.2f %8.1fx\n", window,
+                        bits / legacy_s / 1e9, bits / counter_s / 1e9,
+                        legacy_s / counter_s);
+        }
+    }
+    simd::setActiveArm(previous);
+}
+
+/**
+ * Self-timed shared-pool comparison: construct-and-run many executors
+ * (the fig11 / co-optimizer sweep pattern) with a private pool each
+ * versus all of them attached to the process-wide ExecutorPool. The
+ * difference is pure thread spawn/teardown cost.
+ */
+void
+reportExecutorPoolReuse()
+{
+    using clock = std::chrono::steady_clock;
+    const aqfp::AttenuationModel atten;
+    const crossbar::CrossbarMapper mapper(16, atten, 2.4);
+    Rng rng(19);
+    Tensor w({32, 64});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    crossbar::MappedLayer layer = mapper.map(w);
+    crossbar::CrossbarMapper::setThresholds(
+        layer, std::vector<double>(32, 0.0));
+    std::vector<int> acts(64);
+    for (auto &a : acts)
+        a = rng.bernoulli(0.5) ? 1 : -1;
+
+    const std::size_t executors = 64;
+    const std::size_t pool_threads = 2;
+    setenv("SUPERBNN_THREADS", "2", 1);
+    util::ExecutorPool::reset();
+
+    std::printf("\n==== executor construction: private pools vs shared "
+                "ExecutorPool (%zu executors, %zu threads) ====\n",
+                executors, pool_threads);
+    std::printf("%10s %14s %9s\n", "mode", "executors/s", "speedup");
+    double private_rate = 0.0;
+    for (const bool shared : {false, true}) {
+        Rng fwd(23);
+        const auto t0 = clock::now();
+        for (std::size_t e = 0; e < executors; ++e) {
+            crossbar::TileExecutor exec(
+                16, false, 0.25,
+                shared ? 0 : pool_threads);
+            benchmark::DoNotOptimize(exec.forward(layer, acts, fwd));
+        }
+        const double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        const double rate = static_cast<double>(executors) / secs;
+        if (!shared)
+            private_rate = rate;
+        std::printf("%10s %14.1f %8.2fx\n",
+                    shared ? "shared" : "private", rate,
+                    rate / private_rate);
+    }
+    unsetenv("SUPERBNN_THREADS");
+    util::ExecutorPool::reset();
 }
 
 /**
@@ -513,21 +705,29 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    // One BM_XnorPopcountArm instance per arm this host supports
-    // (static registration would emit skip errors for missing ISAs).
+    // One instance per arm this host supports (static registration
+    // would emit skip errors for missing ISAs).
     for (const simd::Arm arm : simd::availableArms()) {
-        const std::string name =
+        const std::string xnor_name =
             std::string("BM_XnorPopcountArm/") + simd::armName(arm);
-        benchmark::RegisterBenchmark(name.c_str(), BM_XnorPopcountArm,
-                                     arm)
+        benchmark::RegisterBenchmark(xnor_name.c_str(),
+                                     BM_XnorPopcountArm, arm)
             ->Arg(1024)
             ->Arg(4096);
+        const std::string fill_name =
+            std::string("BM_BernoulliFillArm/") + simd::armName(arm);
+        benchmark::RegisterBenchmark(fill_name.c_str(),
+                                     BM_BernoulliFillArm, arm)
+            ->Arg(64)
+            ->Arg(1024);
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (full_run) {
         reportPackedSpeedup();
+        reportBernoulliSpeedup();
         reportSimdArmSweep();
+        reportExecutorPoolReuse();
         reportThreadBatchSweep();
         reportSimdWorkloadSweep();
     }

@@ -30,8 +30,10 @@ struct HardwareConfig
     double deltaIinUa = 2.4;         ///< neuron gray-zone width
     bool exactApc = false;           ///< ablation: exact parallel counter
     double dropFraction = 0.25;      ///< APC approximation level
-    /// Executor concurrency: 1 = sequential, 0 = default (the
-    /// SUPERBNN_THREADS environment variable, else hardware threads).
+    /// Executor concurrency: 0 (default) shares the process-wide
+    /// util::ExecutorPool (sized from SUPERBNN_THREADS / hardware
+    /// threads when that pool is first created), 1 = sequential,
+    /// N > 1 = a private N-thread pool.
     std::size_t threads = 0;
     /// Samples evaluated per batched executor pass in evaluate().
     std::size_t evalBatch = 8;

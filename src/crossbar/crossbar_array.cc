@@ -182,14 +182,19 @@ CrossbarArray::observeBatchSeeded(
     out.reserve(size_);
     for (std::size_t c = 0; c < size_; ++c)
         out.emplace_back(samples, window);
-    // Sample-outer, columns ascending: the per-sample draw order is the
-    // same as observe()/observeBatch(), with one live engine at a time.
+    // One counter-based stream per sample, consumed column-major in a
+    // single pass: column c's window occupies raw-draw positions
+    // [c * window, (c+1) * window) of seeds[b]'s counter space (the
+    // fill advances the counter even for constant-probability columns,
+    // so the layout is position-stable). No engine is ever seeded —
+    // the tile seed itself is the whole RNG state.
     for (std::size_t b = 0; b < samples; ++b) {
-        Rng rng(seeds[b]);
+        sc::detail::CounterStream stream{seeds[b], 0};
         for (std::size_t c = 0; c < size_; ++c) {
             const double p = neurons[c].probOne(
                 static_cast<double>(sums[b * size_ + c]) * unitCurrent);
-            sc::detail::bernoulliFill(out[c].words(b), window, p, rng);
+            sc::detail::bernoulliFill(out[c].words(b), window, p,
+                                      stream);
         }
     }
     return out;

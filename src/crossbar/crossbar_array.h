@@ -116,12 +116,17 @@ class CrossbarArray
                  std::size_t window, std::vector<Rng> &rngs) const;
 
     /**
-     * observeBatch with one RNG *seed* per sample instead of live
-     * generators: sample b's engine is constructed from seeds[b] on
-     * the fly and used for all columns in ascending order, so only one
-     * engine is alive at a time (the executor's batched CNN path would
-     * otherwise hold thousands of Mersenne states per tile task).
-     * Bit-identical to observeBatch with rngs[b] = Rng(seeds[b]).
+     * observeBatch with one counter-stream *seed* per sample instead
+     * of live generators — the executor's hot path. Sample b's columns
+     * are drawn from a single sc::detail::CounterStream seeded with
+     * seeds[b] and consumed column-major in one pass: column c's
+     * window-long stream occupies raw-draw positions [c * window,
+     * (c+1) * window) of the counter space, regardless of the other
+     * columns' probabilities. Eight bytes of state per (sample, tile)
+     * replace the per-engine 312-word mt19937_64 init, and the draw
+     * step itself vectorizes (simd::KernelSet counter kernel).
+     * Deterministic in (seeds, window, programmed state) alone and
+     * bit-identical on every dispatch arm.
      */
     std::vector<sc::BitstreamBatch>
     observeBatchSeeded(const std::vector<std::vector<int>> &batch,

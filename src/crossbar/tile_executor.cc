@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/executor_pool.h"
+
 namespace superbnn::crossbar {
 
 namespace {
@@ -52,12 +54,20 @@ TileExecutor::threads() const
 void
 TileExecutor::setThreads(std::size_t threads)
 {
-    const std::size_t resolved =
-        threads == 0 ? util::ThreadPool::defaultThreadCount() : threads;
-    if (resolved <= 1)
+    if (threads == 1) {
         pool.reset();
-    else
-        pool = std::make_shared<util::ThreadPool>(resolved);
+        return;
+    }
+    if (threads == 0) {
+        // Attach to the process-wide pool. Its size was resolved (from
+        // SUPERBNN_THREADS) when the pool was first created — see
+        // util::ExecutorPool for the resolution-point contract.
+        pool = util::ExecutorPool::shared();
+        return;
+    }
+    // An explicit count is a request for a private pool of that size
+    // (thread-count sweeps, tests pinning concurrency).
+    pool = std::make_shared<util::ThreadPool>(threads);
 }
 
 void

@@ -10,15 +10,19 @@
  *
  * Execution is threaded and batched. The (rowTile, colTile) tile
  * observations of a forward pass are independent, so they run as
- * parallel tasks on a util::ThreadPool, each writing its streams into
- * its own slot of a preallocated scratch table; the pool's barrier then
- * separates observation from the (also parallel) per-column-group
- * accumulation merge. Determinism does not depend on the thread count:
- * every (sample, tile) task draws from its own RNG stream, seeded by
- * mixing one root draw per sample (taken from the caller's Rng in
- * sample order) with the tile coordinates. Consequences:
+ * parallel tasks on a util::ThreadPool — by default the process-wide
+ * shared util::ExecutorPool, so any number of executors reuse one set
+ * of worker threads — each writing its streams into its own slot of a
+ * preallocated scratch table; the pool's barrier then separates
+ * observation from the (also parallel) per-column-group accumulation
+ * merge. Determinism does not depend on the thread count: every
+ * (sample, tile) task draws from its own counter-based RNG stream
+ * (sc::detail::CounterStream) whose 8-byte seed mixes one root draw
+ * per sample (taken from the caller's Rng in sample order) with the
+ * tile coordinates. Consequences:
  *
- *  - any thread count produces bit-identical outputs, and
+ *  - any thread count, pool sharing arrangement, and SIMD dispatch arm
+ *    produces bit-identical outputs, and
  *  - a batched forward of N samples is bit-identical to N consecutive
  *    single-sample forwards from the same starting Rng state (each
  *    single forward consumes exactly one root draw).
@@ -46,10 +50,12 @@ class TileExecutor
      * @param window         SC observation window length L
      * @param use_exact_apc  ablation: exact instead of approximate APC
      * @param drop_fraction  APC approximation aggressiveness
-     * @param threads        executor concurrency: 1 = sequential, 0 =
-     *                       util::ThreadPool::defaultThreadCount()
-     *                       (the SUPERBNN_THREADS environment variable,
-     *                       else the hardware concurrency)
+     * @param threads        executor concurrency: 0 (default) shares
+     *                       the process-wide util::ExecutorPool (sized
+     *                       from SUPERBNN_THREADS / hardware
+     *                       concurrency when that pool is first
+     *                       created); 1 = sequential; N > 1 = a
+     *                       private pool of N threads
      */
     explicit TileExecutor(std::size_t window, bool use_exact_apc = false,
                           double drop_fraction = 0.25,
@@ -129,8 +135,12 @@ class TileExecutor
     std::size_t threads() const;
 
     /**
-     * Reconfigure concurrency: 1 drops the pool (pure sequential path),
-     * 0 resizes to the default count, anything else to that count.
+     * Reconfigure concurrency: 1 drops the pool (pure sequential
+     * path); 0 attaches to the process-wide util::ExecutorPool —
+     * acquiring whatever pool exists *at this call*, so a
+     * SUPERBNN_THREADS change after the shared pool was first created
+     * is ignored until util::ExecutorPool::reset() (the documented
+     * resolution point); N > 1 allocates a private N-thread pool.
      * Outputs are bit-identical across all settings.
      */
     void setThreads(std::size_t threads);
@@ -139,11 +149,10 @@ class TileExecutor
     std::size_t window_;
     bool useExact;
     double dropFraction;
-    /// Shared so TileExecutor stays cheaply copyable; null =
-    /// sequential. CAUTION: copies therefore share one pool, and
-    /// ThreadPool::parallelFor runs one loop at a time — do not drive
-    /// copies of one executor from different threads concurrently
-    /// (give each its own TileExecutor instead).
+    /// The executor's pool — by default the process-wide shared
+    /// ExecutorPool; null = sequential. Sharing is safe: a parallelFor
+    /// issued while another executor's loop is in flight runs inline
+    /// rather than racing or blocking (see ThreadPool::parallelFor).
     std::shared_ptr<util::ThreadPool> pool;
 
     /** parallelFor through the pool, or a plain loop without one. */

@@ -26,23 +26,43 @@ wordsForLength(std::size_t length)
     return wordsFor(length);
 }
 
+namespace {
+
+/** Constant fill for the p <= 0 / p >= 1 fast paths (tail kept zero). */
 void
-bernoulliFill(std::uint64_t *words, std::size_t length, double p,
-              Rng &rng)
+constantFill(std::uint64_t *words, std::size_t length, bool ones)
 {
     constexpr std::size_t kWordBits = Bitstream::kWordBits;
     const std::size_t word_count = wordsFor(length);
-    if (length == 0)
-        return;
-    if (p <= 0.0) {
+    if (!ones) {
         std::fill(words, words + word_count, std::uint64_t{0});
         return;
     }
+    std::fill(words, words + word_count, ~std::uint64_t{0});
+    const std::size_t tail = length % kWordBits;
+    if (tail != 0)
+        words[word_count - 1] = (std::uint64_t{1} << tail) - 1;
+}
+
+} // namespace
+
+void
+bernoulliFill(std::uint64_t *words, std::size_t length, double p,
+              CounterStream &stream)
+{
+    if (length == 0)
+        return;
+    const std::uint64_t counter = stream.counter;
+    // Advance unconditionally: the words at a counter position must
+    // not depend on whether earlier streams happened to be constant
+    // (position stability — see the header contract).
+    stream.counter += length;
+    if (p <= 0.0) {
+        constantFill(words, length, false);
+        return;
+    }
     if (p >= 1.0) {
-        std::fill(words, words + word_count, ~std::uint64_t{0});
-        const std::size_t tail = length % kWordBits;
-        if (tail != 0)
-            words[word_count - 1] = (std::uint64_t{1} << tail) - 1;
+        constantFill(words, length, true);
         return;
     }
     // Fixed-point threshold: a raw 64-bit draw is below p * 2^64 with
@@ -51,25 +71,24 @@ bernoulliFill(std::uint64_t *words, std::size_t length, double p,
     // stays below 2^64 and the cast is well defined.
     const std::uint64_t threshold =
         static_cast<std::uint64_t>(std::ldexp(p, 64));
-    auto &engine = rng.raw();
-    const simd::KernelSet &kernels = simd::active();
-    // The engine is drained into a word-sized buffer here (one draw per
-    // bit, stream order) so every dispatch arm consumes identical
-    // entropy; only the compare-and-pack step is arm-specific.
-    std::uint64_t draws[Bitstream::kWordBits];
-    const std::size_t full = length / kWordBits;
-    for (std::size_t w = 0; w < full; ++w) {
-        for (std::size_t b = 0; b < kWordBits; ++b)
-            draws[b] = engine();
-        words[w] =
-            kernels.packThresholdWord(draws, kWordBits, threshold);
+    simd::active().generateThresholdWords(words, length, stream.seed,
+                                          counter, threshold);
+}
+
+void
+bernoulliFill(std::uint64_t *words, std::size_t length, double p,
+              Rng &rng)
+{
+    if (length == 0)
+        return;
+    // Constant streams keep the historical no-draws contract (an
+    // all-zero or all-one fill must not perturb the caller's RNG).
+    if (p <= 0.0 || p >= 1.0) {
+        constantFill(words, length, p >= 1.0);
+        return;
     }
-    const std::size_t tail = length % kWordBits;
-    if (tail != 0) {
-        for (std::size_t b = 0; b < tail; ++b)
-            draws[b] = engine();
-        words[full] = kernels.packThresholdWord(draws, tail, threshold);
-    }
+    CounterStream stream{rng.raw()(), 0};
+    bernoulliFill(words, length, p, stream);
 }
 
 } // namespace detail

@@ -53,15 +53,41 @@ popcountWord(std::uint64_t w)
 std::size_t wordsForLength(std::size_t length);
 
 /**
+ * A counter-based raw-word stream: draw k is the SplitMix64 finalizer
+ * of `seed + (k+1) * gamma` (the exact scheme documented on
+ * simd::KernelSet::generateThresholdWords). Eight bytes of state
+ * replace a 312-word mt19937_64 — seeding a fresh stream is free, and
+ * because every draw is a pure function of (seed, counter) the
+ * compare-against-threshold step runs vector-wide with no serial draw
+ * buffer. Copyable; two equal CounterStreams produce identical bits.
+ */
+struct CounterStream
+{
+    std::uint64_t seed = 0;    ///< stream identity (never advanced)
+    std::uint64_t counter = 0; ///< next raw-draw index
+};
+
+/**
  * Fill ceil(length/64) words at @p words with an i.i.d. Bernoulli(p)
- * stream, LSB-first, tail bits zero. The single word-generation routine
- * shared by Bitstream::bernoulli and BitstreamBatch::bernoulli, so the
- * two produce bit-identical streams from equal RNG states (the batched
- * executor's exactness guarantee leans on this). p <= 0 and p >= 1
- * write constant streams without consuming any RNG draws. The RNG is
- * drained in stream order into a draw buffer; only the compare-and-pack
- * step runs through the simd::KernelSet dispatch, so the output is
- * bit-identical on every arm.
+ * stream, LSB-first, tail bits zero, drawn from the counter stream.
+ * The counter advances by exactly @p length — **also for the constant
+ * p <= 0 / p >= 1 fills** — so a stream's bits depend only on (seed,
+ * starting counter), never on the probabilities of streams generated
+ * before it (position stability; the crossbar's column-major observe
+ * layout leans on this). Generation runs through the simd::KernelSet
+ * counter kernel and is bit-identical on every arm.
+ */
+void bernoulliFill(std::uint64_t *words, std::size_t length, double p,
+                   CounterStream &stream);
+
+/**
+ * Rng-seeded convenience overload: consumes exactly **one** raw draw
+ * from @p rng as the seed of a fresh CounterStream (counter 0) and
+ * fills from it; p <= 0 and p >= 1 write constant streams without
+ * consuming the draw. The single word-generation routine shared by
+ * Bitstream::bernoulli and BitstreamBatch::bernoulli, so the two
+ * produce bit-identical streams from equal RNG states (the batched
+ * executor's exactness guarantee leans on this).
  */
 void bernoulliFill(std::uint64_t *words, std::size_t length, double p,
                    Rng &rng);
@@ -124,10 +150,11 @@ class Bitstream
                                std::size_t length);
 
     /**
-     * I.i.d. Bernoulli(p) stream of the given length, generated a word
-     * at a time: each 64-bit word is filled from a batch of raw RNG
-     * draws compared against a fixed-point threshold, avoiding the
-     * per-bit distribution-object overhead of Rng::bernoulli.
+     * I.i.d. Bernoulli(p) stream of the given length: one raw draw
+     * from @p rng seeds a counter-based SplitMix64 stream whose draws
+     * are compared vector-wide against a fixed-point threshold (see
+     * detail::bernoulliFill) — no per-bit engine draws, no per-bit
+     * distribution objects.
      */
     static Bitstream bernoulli(std::size_t length, double p, Rng &rng);
 

@@ -31,7 +31,10 @@ class AqfpStochasticSource
 
     /**
      * Observe the buffer for L cycles with input current held at
-     * @p iin_ua; returns the resulting SN bitstream.
+     * @p iin_ua; returns the resulting SN bitstream. Consumes exactly
+     * one raw draw from @p rng — the seed of the counter-based stream
+     * the bits are generated from (see detail::bernoulliFill) — or
+     * none when the switching probability is exactly 0 or 1.
      */
     Bitstream observe(double iin_ua, Rng &rng) const;
 

@@ -4,16 +4,19 @@
  *
  * The word-packed SC pipeline spends nearly all of its time in a handful
  * of word-loop primitives: fused XNOR/AND/OR+popcount over packed
- * bitstream words, plain popcount, packing Bernoulli threshold
- * comparisons into stream words, and the crossbar column-sum inner loop.
+ * bitstream words, plain popcount, counter-based Bernoulli word
+ * generation (SplitMix64 iterated from an 8-byte seed, compared
+ * vector-wide), and the crossbar column-sum inner loop.
  * This layer provides one KernelSet of function pointers per
  * implementation arm — portable scalar, AVX2, AVX-512 (VPOPCNTDQ), and
  * NEON — and selects the best arm the host CPU supports once at startup.
  *
  * Every arm is **bit-identical** to the scalar reference: popcounts are
- * exact and the Bernoulli packing compares the same raw RNG draws
- * against the same fixed-point threshold in the same order, so switching
- * arms never changes a simulation result, only its speed.
+ * exact and Bernoulli generation evaluates the same counter-indexed
+ * SplitMix64 draws against the same fixed-point threshold (the draw at
+ * counter k is a pure function of the seed and k, whether computed one
+ * lane or eight at a time), so switching arms never changes a
+ * simulation result, only its speed.
  *
  * Selection order is avx512 > avx2 > neon > scalar among the arms that
  * are both compiled in and supported by the running CPU. The
@@ -95,10 +98,35 @@ struct KernelSet
      * b < count <= 64; bits at count and above are zero. The RNG draw
      * order lives in the caller, so every arm consumes identical
      * entropy — the bit-exactness contract of Bernoulli generation.
+     * (Kept for externally supplied draw buffers; the library's own
+     * Bernoulli fill uses generateThresholdWords below.)
      */
     std::uint64_t (*packThresholdWord)(const std::uint64_t *draws,
                                        std::size_t count,
                                        std::uint64_t threshold);
+
+    /**
+     * Counter-based Bernoulli word generation, the SC hot-path
+     * replacement for serial engine draws. Fills ceil(length / 64)
+     * words at @p out with packed bits, LSB-first, tail bits zero:
+     * stream bit i is set iff raw(seed, counter + i) < threshold,
+     * where
+     *
+     *   raw(seed, k) = mix(seed + (k + 1) * 0x9e3779b97f4a7c15)
+     *
+     * and mix is the SplitMix64 finalizer
+     * (x ^= x>>30; x *= 0xbf58476d1ce4e5b9; x ^= x>>27;
+     *  x *= 0x94d049bb133111eb; x ^= x>>31) — i.e. the k-th output of
+     * a splitmix64 engine seeded with `seed + counter * gamma`. Each
+     * bit is a pure function of (seed, counter + i), so arms are free
+     * to evaluate lanes in parallel; every arm must produce the words
+     * the scalar reference produces, bit for bit.
+     */
+    void (*generateThresholdWords)(std::uint64_t *out,
+                                   std::size_t length,
+                                   std::uint64_t seed,
+                                   std::uint64_t counter,
+                                   std::uint64_t threshold);
 
     /**
      * Crossbar column-sum inner loop: sums[c] += activation *

@@ -203,6 +203,100 @@ packThresholdWord(const std::uint64_t *draws, std::size_t count,
     return word;
 }
 
+/**
+ * Low 64 bits of a lane-wise 64x64 multiply. AVX2 has no vpmullq;
+ * built from 32x32->64 partial products:
+ * a*b mod 2^64 = lo(a)*lo(b) + 2^32 * (hi(a)*lo(b) + lo(a)*hi(b)).
+ */
+inline __m256i
+mullo64(__m256i a, __m256i b)
+{
+    const __m256i lo = _mm256_mul_epu32(a, b);
+    const __m256i cross = _mm256_add_epi64(
+        _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+        _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/** SplitMix64 finalizer on four lanes (same constants as scalar). */
+inline __m256i
+splitmixMix4(__m256i x)
+{
+    x = mullo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+                _mm256_set1_epi64x(
+                    static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+    x = mullo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+                _mm256_set1_epi64x(
+                    static_cast<long long>(0x94d049bb133111ebULL)));
+    return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+inline std::uint64_t
+splitmixDraw(std::uint64_t seed, std::uint64_t k)
+{
+    std::uint64_t x = seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+generateThresholdWords(std::uint64_t *out, std::size_t length,
+                       std::uint64_t seed, std::uint64_t counter,
+                       std::uint64_t threshold)
+{
+    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    // Unsigned compare via sign-bias + signed vpcmpgtq, as in
+    // packThresholdWord above.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(std::uint64_t{1} << 63));
+    const __m256i th = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(threshold)), bias);
+    const __m256i step = _mm256_set1_epi64x(
+        static_cast<long long>(4 * kGamma));
+    // Lane l of `state` holds the pre-mix engine state for counter
+    // position k + l: seed + (k + l + 1) * gamma.
+    __m256i state = _mm256_set_epi64x(
+        static_cast<long long>(seed + (counter + 4) * kGamma),
+        static_cast<long long>(seed + (counter + 3) * kGamma),
+        static_cast<long long>(seed + (counter + 2) * kGamma),
+        static_cast<long long>(seed + (counter + 1) * kGamma));
+    const std::size_t full = length / 64;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 64; b += 4) {
+            const __m256i d =
+                _mm256_xor_si256(splitmixMix4(state), bias);
+            state = _mm256_add_epi64(state, step);
+            const __m256i lt = _mm256_cmpgt_epi64(th, d);
+            word |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                        _mm256_movemask_pd(_mm256_castsi256_pd(lt))))
+                << b;
+        }
+        out[w] = word;
+        counter += 64;
+    }
+    const std::size_t tail = length % 64;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        std::size_t b = 0;
+        for (; b + 4 <= tail; b += 4) {
+            const __m256i d =
+                _mm256_xor_si256(splitmixMix4(state), bias);
+            state = _mm256_add_epi64(state, step);
+            const __m256i lt = _mm256_cmpgt_epi64(th, d);
+            word |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                        _mm256_movemask_pd(_mm256_castsi256_pd(lt))))
+                << b;
+        }
+        for (; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+        out[full] = word;
+    }
+}
+
 void
 accumulateColumnSums(int *sums, const int *weights, int activation,
                      std::size_t n)
@@ -226,7 +320,7 @@ accumulateColumnSums(int *sums, const int *weights, int activation,
 constexpr KernelSet kTable = {
     "avx2",          popcountWords,     xnorPopcountWords,
     andPopcountWords, orPopcountWords,  packThresholdWord,
-    accumulateColumnSums,
+    generateThresholdWords, accumulateColumnSums,
 };
 
 } // namespace

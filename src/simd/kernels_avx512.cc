@@ -166,6 +166,94 @@ packThresholdWord(const std::uint64_t *draws, std::size_t count,
     return word;
 }
 
+/**
+ * Low 64 bits of a lane-wise 64x64 multiply from 32x32->64 partials
+ * (vpmullq needs AVX512DQ, which this arm deliberately does not
+ * require — VPOPCNTDQ hosts without DQ stay eligible).
+ */
+inline __m512i
+mullo64(__m512i a, __m512i b)
+{
+    const __m512i lo = _mm512_mul_epu32(a, b);
+    const __m512i cross = _mm512_add_epi64(
+        _mm512_mul_epu32(_mm512_srli_epi64(a, 32), b),
+        _mm512_mul_epu32(a, _mm512_srli_epi64(b, 32)));
+    return _mm512_add_epi64(lo, _mm512_slli_epi64(cross, 32));
+}
+
+/** SplitMix64 finalizer on eight lanes (same constants as scalar). */
+inline __m512i
+splitmixMix8(__m512i x)
+{
+    x = mullo64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)),
+                _mm512_set1_epi64(
+                    static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+    x = mullo64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)),
+                _mm512_set1_epi64(
+                    static_cast<long long>(0x94d049bb133111ebULL)));
+    return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+inline std::uint64_t
+splitmixDraw(std::uint64_t seed, std::uint64_t k)
+{
+    std::uint64_t x = seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+generateThresholdWords(std::uint64_t *out, std::size_t length,
+                       std::uint64_t seed, std::uint64_t counter,
+                       std::uint64_t threshold)
+{
+    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    const __m512i th = _mm512_set1_epi64(
+        static_cast<long long>(threshold));
+    const __m512i step = _mm512_set1_epi64(
+        static_cast<long long>(8 * kGamma));
+    // Lane l holds the pre-mix engine state for counter position
+    // k + l: seed + (k + l + 1) * gamma.
+    __m512i state = _mm512_set_epi64(
+        static_cast<long long>(seed + (counter + 8) * kGamma),
+        static_cast<long long>(seed + (counter + 7) * kGamma),
+        static_cast<long long>(seed + (counter + 6) * kGamma),
+        static_cast<long long>(seed + (counter + 5) * kGamma),
+        static_cast<long long>(seed + (counter + 4) * kGamma),
+        static_cast<long long>(seed + (counter + 3) * kGamma),
+        static_cast<long long>(seed + (counter + 2) * kGamma),
+        static_cast<long long>(seed + (counter + 1) * kGamma));
+    const std::size_t full = length / 64;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 64; b += 8) {
+            const __mmask8 lt =
+                _mm512_cmplt_epu64_mask(splitmixMix8(state), th);
+            state = _mm512_add_epi64(state, step);
+            word |= static_cast<std::uint64_t>(lt) << b;
+        }
+        out[w] = word;
+        counter += 64;
+    }
+    const std::size_t tail = length % 64;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        std::size_t b = 0;
+        for (; b + 8 <= tail; b += 8) {
+            const __mmask8 lt =
+                _mm512_cmplt_epu64_mask(splitmixMix8(state), th);
+            state = _mm512_add_epi64(state, step);
+            word |= static_cast<std::uint64_t>(lt) << b;
+        }
+        for (; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+        out[full] = word;
+    }
+}
+
 void
 accumulateColumnSums(int *sums, const int *weights, int activation,
                      std::size_t n)
@@ -186,7 +274,7 @@ accumulateColumnSums(int *sums, const int *weights, int activation,
 constexpr KernelSet kTable = {
     "avx512",        popcountWords,     xnorPopcountWords,
     andPopcountWords, orPopcountWords,  packThresholdWord,
-    accumulateColumnSums,
+    generateThresholdWords, accumulateColumnSums,
 };
 
 } // namespace

@@ -121,6 +121,54 @@ packThresholdWord(const std::uint64_t *draws, std::size_t count,
     return word;
 }
 
+inline std::uint64_t
+splitmixDraw(std::uint64_t seed, std::uint64_t k)
+{
+    std::uint64_t x = seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * NEON has no 64-bit lane multiply, and synthesizing one from 32-bit
+ * halves costs more than the A-profile scalar multiplier, which
+ * pipelines the independent per-counter draws just fine — so this arm
+ * runs the counter scheme serially (two counters per iteration to
+ * keep both multiply pipes busy). Bit-identical to scalar by
+ * construction.
+ */
+void
+generateThresholdWords(std::uint64_t *out, std::size_t length,
+                       std::uint64_t seed, std::uint64_t counter,
+                       std::uint64_t threshold)
+{
+    const std::size_t full = length / 64;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 64; b += 2) {
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b + 1)
+                        < threshold)
+                << (b + 1);
+        }
+        out[w] = word;
+        counter += 64;
+    }
+    const std::size_t tail = length % 64;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+        out[full] = word;
+    }
+}
+
 void
 accumulateColumnSums(int *sums, const int *weights, int activation,
                      std::size_t n)
@@ -139,7 +187,7 @@ accumulateColumnSums(int *sums, const int *weights, int activation,
 constexpr KernelSet kTable = {
     "neon",          popcountWords,     xnorPopcountWords,
     andPopcountWords, orPopcountWords,  packThresholdWord,
-    accumulateColumnSums,
+    generateThresholdWords, accumulateColumnSums,
 };
 
 } // namespace

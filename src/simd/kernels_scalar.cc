@@ -78,6 +78,48 @@ packThresholdWord(const std::uint64_t *draws, std::size_t count,
     return word;
 }
 
+/**
+ * The counter scheme's reference semantics (see KernelSet docs): draw
+ * k is the SplitMix64 finalizer applied to seed + (k+1) * gamma. Each
+ * arm re-implements exactly this with internal linkage — per-arm TUs
+ * must not share inline functions (ODR containment, see
+ * kernels_avx2.cc) — so the constants appear once per TU by design.
+ */
+inline std::uint64_t
+splitmixDraw(std::uint64_t seed, std::uint64_t k)
+{
+    std::uint64_t x = seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+generateThresholdWords(std::uint64_t *out, std::size_t length,
+                       std::uint64_t seed, std::uint64_t counter,
+                       std::uint64_t threshold)
+{
+    const std::size_t full = length / 64;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 64; ++b)
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+        out[w] = word;
+        counter += 64;
+    }
+    const std::size_t tail = length % 64;
+    if (tail != 0) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < tail; ++b)
+            word |= static_cast<std::uint64_t>(
+                        splitmixDraw(seed, counter + b) < threshold)
+                << b;
+        out[full] = word;
+    }
+}
+
 void
 accumulateColumnSums(int *sums, const int *weights, int activation,
                      std::size_t n)
@@ -89,7 +131,7 @@ accumulateColumnSums(int *sums, const int *weights, int activation,
 constexpr KernelSet kTable = {
     "scalar",        popcountWords,     xnorPopcountWords,
     andPopcountWords, orPopcountWords,  packThresholdWord,
-    accumulateColumnSums,
+    generateThresholdWords, accumulateColumnSums,
 };
 
 } // namespace

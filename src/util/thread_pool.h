@@ -3,13 +3,15 @@
  * A minimal std::thread worker pool for data-parallel loops.
  *
  * The pool is deliberately work-stealing-free: parallelFor() hands out
- * loop indices from a single shared atomic counter, which is contention-
- * free enough for the coarse-grained tasks the simulator runs (one
- * crossbar-tile observation, one column-group accumulation) and keeps
- * the execution model simple to reason about. Determinism is the
- * caller's job — tile-executor tasks derive their randomness from
- * per-task seeds, so results do not depend on which worker runs which
- * index (see docs/ARCHITECTURE.md, "Threading & determinism").
+ * contiguous *chunks* of loop indices from a single shared atomic
+ * counter. Chunking amortizes the counter traffic over many indices
+ * (important for the tiny tiles of small crossbars) while the shared
+ * counter still load-balances ragged tasks; the chunk size adapts to
+ * the loop length so short loops degrade to one index per claim.
+ * Determinism is the caller's job — tile-executor tasks derive their
+ * randomness from per-task seeds, so results do not depend on which
+ * worker runs which index (see docs/ARCHITECTURE.md, "Threading &
+ * determinism").
  */
 
 #ifndef SUPERBNN_UTIL_THREAD_POOL_H
@@ -55,8 +57,9 @@ class ThreadPool
     std::size_t threadCount() const { return workers.size() + 1; }
 
     /**
-     * Run body(i) for every i in [0, n), distributing indices over the
-     * pool's threads, and return when all are done (a barrier).
+     * Run body(i) for every i in [0, n), distributing chunked index
+     * ranges over the pool's threads, and return when all are done (a
+     * barrier).
      *
      * Each index is executed exactly once; distinct indices may run
      * concurrently, so the body must not write shared state without
@@ -65,8 +68,13 @@ class ThreadPool
      * throw, the loop still completes every remaining index and the
      * first exception is rethrown to the caller.
      *
-     * Calls from inside a pool-managed body run inline on the current
-     * thread (no nested parallelism, no deadlock).
+     * Calls from inside one of *this* pool's bodies run inline on the
+     * current thread (no same-pool nesting, no deadlock); a call on a
+     * *different* pool from inside a body dispatches normally, so
+     * independent executors nest in parallel. When another thread
+     * already has a loop in flight on this pool, the call runs inline
+     * instead of blocking — two pools never wait on each other, so
+     * cross-pool nesting cannot deadlock.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
@@ -74,22 +82,27 @@ class ThreadPool
     /**
      * Default concurrency: the SUPERBNN_THREADS environment variable
      * when set to a positive integer, otherwise
-     * std::thread::hardware_concurrency() (at least 1).
+     * std::thread::hardware_concurrency() (at least 1). A set-but-
+     * invalid value (0, garbage, trailing junk) is ignored with a
+     * one-time notice on stderr, mirroring how SUPERBNN_SIMD reports
+     * unusable overrides.
      */
     static std::size_t defaultThreadCount();
 
   private:
     void workerLoop();
-    /** Pull indices of the current job until exhausted. */
+    /** Claim and run index chunks of the current job until exhausted. */
     void runIndices(const std::function<void(std::size_t)> &body,
-                    std::size_t n);
+                    std::size_t n, std::size_t chunk);
 
     std::vector<std::thread> workers;
     std::mutex mutex_;
+    std::mutex submitMutex;         ///< held by the thread driving a job
     std::condition_variable wake;   ///< signals workers: new job / stop
     std::condition_variable done;   ///< signals caller: workers finished
     const std::function<void(std::size_t)> *jobBody = nullptr;
     std::size_t jobSize = 0;
+    std::size_t jobChunk = 1;
     std::atomic<std::size_t> nextIndex{0};
     std::size_t activeWorkers = 0;
     std::uint64_t generation = 0;   ///< bumped once per job

@@ -218,6 +218,49 @@ TEST(SimdKernels, PackThresholdWordMatchesScalar)
     }
 }
 
+TEST(SimdKernels, GenerateThresholdWordsMatchesScalar)
+{
+    // The counter-based Bernoulli kernel: every arm must reproduce the
+    // scalar reference bit-for-bit for the same (seed, counter,
+    // threshold), including tail words and mid-stream counter starts.
+    // (tests/test_counter_rng.cc pins the scalar reference itself to
+    // the documented SplitMix64 scheme.)
+    const simd::KernelSet &scalar =
+        *simd::kernelsFor(simd::Arm::Scalar);
+    const std::uint64_t thresholds[] = {
+        0,
+        1,
+        std::uint64_t{1} << 32,
+        std::uint64_t{1} << 63,
+        ~std::uint64_t{0} - 0x7FF,
+        ~std::uint64_t{0},
+    };
+    const std::uint64_t counters[] = {0, 1, 64, 12345};
+    for (const std::size_t length : kLengths) {
+        for (const std::uint64_t threshold : thresholds) {
+            for (const std::uint64_t counter : counters) {
+                const std::uint64_t seed = 0xabcd0000 + length;
+                std::vector<std::uint64_t> want((length + 63) / 64);
+                scalar.generateThresholdWords(want.data(), length, seed,
+                                              counter, threshold);
+                // Tail invariant on the reference itself.
+                if (length % 64 != 0)
+                    EXPECT_EQ(want.back() >> (length % 64), 0u);
+                for (const simd::Arm arm : simd::availableArms()) {
+                    std::vector<std::uint64_t> got(want.size(),
+                                                   ~std::uint64_t{0});
+                    simd::kernelsFor(arm)->generateThresholdWords(
+                        got.data(), length, seed, counter, threshold);
+                    EXPECT_EQ(got, want)
+                        << simd::armName(arm) << " length " << length
+                        << " counter " << counter << " threshold "
+                        << threshold;
+                }
+            }
+        }
+    }
+}
+
 TEST(SimdKernels, AccumulateColumnSumsMatchesScalar)
 {
     Rng rng(104);

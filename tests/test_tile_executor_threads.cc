@@ -1,17 +1,23 @@
 /**
  * @file
  * Tests for the threaded, batched tile-execution path: the thread pool
- * itself, the BitstreamBatch packing, the batched crossbar observe, and
- * the executor's two exactness contracts — bit-identical outputs at any
- * thread count, and batch-of-N identical to N single-sample forwards.
+ * itself (including cross-pool nesting and the chunked scheduler), the
+ * process-wide ExecutorPool and its SUPERBNN_THREADS resolution point,
+ * the BitstreamBatch packing, the counter-based batched crossbar
+ * observe, and the executor's two exactness contracts — bit-identical
+ * outputs at any thread count, and batch-of-N identical to N
+ * single-sample forwards.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
 
 #include "crossbar/crossbar_array.h"
 #include "crossbar/mapper.h"
@@ -21,6 +27,7 @@
 #include "nn/sequential.h"
 #include "sc/accumulation.h"
 #include "sc/bitstream_batch.h"
+#include "util/executor_pool.h"
 #include "util/thread_pool.h"
 
 using namespace superbnn;
@@ -136,14 +143,127 @@ TEST(ThreadPoolTest, NestedCallsRunInline)
     EXPECT_EQ(inner.load(), 32);
 }
 
+TEST(ThreadPoolTest, IndependentPoolsNestInParallel)
+{
+    // Regression: the inline guard used to be process-global, so a
+    // parallelFor on pool B from inside pool A's body ran fully inline
+    // — serializing independent executors. The guard is now scoped to
+    // the owning pool; prove the inner loop is really dispatched by
+    // requiring its two indices to be in flight concurrently (an
+    // inline run executes them one after the other and times out).
+    util::ThreadPool outer(2);
+    util::ThreadPool inner(2);
+    std::atomic<int> arrived{0};
+    std::atomic<int> saw_both{0};
+    outer.parallelFor(2, [&](std::size_t i) {
+        if (i != 0)
+            return;
+        inner.parallelFor(2, [&](std::size_t) {
+            arrived.fetch_add(1);
+            const auto deadline = std::chrono::steady_clock::now()
+                + std::chrono::seconds(20);
+            // Every index must itself observe the other one in flight
+            // before returning: under an inline (serialized) run the
+            // first index can never see arrived == 2 and times out, so
+            // saw_both stays below 2 and the test fails.
+            while (arrived.load() < 2
+                   && std::chrono::steady_clock::now() < deadline)
+                std::this_thread::yield();
+            if (arrived.load() == 2)
+                saw_both.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(arrived.load(), 2);
+    EXPECT_EQ(saw_both.load(), 2)
+        << "inner pool ran inline from inside the outer pool's body";
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv)
 {
     setenv("SUPERBNN_THREADS", "3", 1);
     EXPECT_EQ(util::ThreadPool::defaultThreadCount(), 3u);
+    // Invalid values (garbage, zero, trailing junk) fall back to the
+    // hardware count with a one-line stderr notice — never 0 threads,
+    // and never a silent partial parse of "4x" as 4.
     setenv("SUPERBNN_THREADS", "not-a-number", 1);
     EXPECT_GE(util::ThreadPool::defaultThreadCount(), 1u);
+    setenv("SUPERBNN_THREADS", "0", 1);
+    EXPECT_GE(util::ThreadPool::defaultThreadCount(), 1u);
+    setenv("SUPERBNN_THREADS", "4x", 1);
+    const std::size_t hw = std::thread::hardware_concurrency() == 0
+        ? 1
+        : std::thread::hardware_concurrency();
+    EXPECT_EQ(util::ThreadPool::defaultThreadCount(), hw);
+    // A valid value after an invalid one takes effect again.
+    setenv("SUPERBNN_THREADS", "6", 1);
+    EXPECT_EQ(util::ThreadPool::defaultThreadCount(), 6u);
     unsetenv("SUPERBNN_THREADS");
     EXPECT_GE(util::ThreadPool::defaultThreadCount(), 1u);
+}
+
+// --- process-wide executor pool ---
+
+TEST(ExecutorPoolTest, SharedPoolIsProcessWideAndPinnedAtFirstUse)
+{
+    setenv("SUPERBNN_THREADS", "3", 1);
+    util::ExecutorPool::reset();
+    const auto a = util::ExecutorPool::shared();
+    const auto b = util::ExecutorPool::shared();
+    EXPECT_EQ(a.get(), b.get()); // one pool for the whole process
+    EXPECT_EQ(a->threadCount(), 3u);
+
+    // Resolution point: SUPERBNN_THREADS was read when the pool was
+    // first created; changing it afterwards is ignored...
+    setenv("SUPERBNN_THREADS", "5", 1);
+    EXPECT_EQ(util::ExecutorPool::shared()->threadCount(), 3u);
+    // ...including by executors attaching later with threads == 0.
+    TileExecutor exec(8);
+    EXPECT_EQ(exec.threads(), 3u);
+
+    // reset() drops the pool; the next shared() re-reads the
+    // environment. Executors holding the old pool keep it until they
+    // are reconfigured.
+    util::ExecutorPool::reset();
+    EXPECT_EQ(util::ExecutorPool::shared()->threadCount(), 5u);
+    EXPECT_EQ(exec.threads(), 3u);
+    exec.setThreads(0);
+    EXPECT_EQ(exec.threads(), 5u);
+
+    unsetenv("SUPERBNN_THREADS");
+    util::ExecutorPool::reset();
+}
+
+TEST(ExecutorPoolTest, ExplicitThreadCountsBypassTheSharedPool)
+{
+    setenv("SUPERBNN_THREADS", "3", 1);
+    util::ExecutorPool::reset();
+    TileExecutor exec(8, false, 0.25, 4);
+    EXPECT_EQ(exec.threads(), 4u); // private pool, env ignored
+    exec.setThreads(1);
+    EXPECT_EQ(exec.threads(), 1u); // sequential, no pool at all
+    unsetenv("SUPERBNN_THREADS");
+    util::ExecutorPool::reset();
+}
+
+TEST(ExecutorPoolTest, SharedPoolRunsExecutorsCorrectly)
+{
+    // A forward through the shared pool must match the sequential
+    // reference bit for bit (the thread-count invariance contract,
+    // exercised specifically on the default shared-pool path).
+    setenv("SUPERBNN_THREADS", "4", 1);
+    util::ExecutorPool::reset();
+    Rng setup(47);
+    const MappedLayer layer = makeLayer(setup);
+    const std::vector<int> acts = randomActs(24, setup);
+    TileExecutor exec(16, false, 0.25, 1);
+    Rng ref_rng(55);
+    const auto ref = exec.forward(layer, acts, ref_rng);
+    exec.setThreads(0); // attach to the 4-thread shared pool
+    ASSERT_EQ(exec.threads(), 4u);
+    Rng rng(55);
+    EXPECT_EQ(exec.forward(layer, acts, rng), ref);
+    unsetenv("SUPERBNN_THREADS");
+    util::ExecutorPool::reset();
 }
 
 // --- BitstreamBatch ---
@@ -242,29 +362,46 @@ TEST(CrossbarBatchTest, ObserveBatchMatchesPerSampleObserve)
     }
 }
 
-TEST(CrossbarBatchTest, ObserveBatchSeededMatchesObserveBatch)
+TEST(CrossbarBatchTest, ObserveBatchSeededUsesColumnMajorCounterLayout)
 {
     Rng rng(23);
     CrossbarArray xbar(4, atten(), 2.4);
     for (std::size_t r = 0; r < 4; ++r)
         for (std::size_t c = 0; c < 4; ++c)
             xbar.programCell(r, c, rng.bernoulli(0.5) ? 1 : -1);
-    const std::size_t window = 67;
+    const std::size_t window = 67; // multi-word, masked tail
     std::vector<std::vector<int>> batch;
     for (int b = 0; b < 3; ++b)
         batch.push_back(randomActs(4, rng));
     const std::vector<std::uint64_t> seeds = {11, 22, 33};
-    std::vector<Rng> rngs;
-    for (const auto s : seeds)
-        rngs.emplace_back(s);
 
-    const auto live = xbar.observeBatch(batch, window, rngs);
+    // The seeded observe contract: sample b's column c is the
+    // counter-stream fill of seeds[b] at raw-draw base c * window —
+    // every column at a fixed offset of one counter space, independent
+    // of the other columns' probabilities.
     const auto seeded = xbar.observeBatchSeeded(batch, window, seeds);
-    ASSERT_EQ(seeded.size(), live.size());
-    for (std::size_t c = 0; c < live.size(); ++c)
+    ASSERT_EQ(seeded.size(), 4u);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+        const auto probs = xbar.columnProbabilities(batch[b]);
+        for (std::size_t c = 0; c < 4; ++c) {
+            std::vector<std::uint64_t> want(
+                sc::detail::wordsForLength(window));
+            sc::detail::CounterStream stream{seeds[b], c * window};
+            sc::detail::bernoulliFill(want.data(), window, probs[c],
+                                      stream);
+            EXPECT_EQ(seeded[c].stream(b).words(), want)
+                << "column " << c << " sample " << b;
+            EXPECT_EQ(stream.counter, (c + 1) * window);
+        }
+    }
+
+    // Pure function of (state, seeds): a second observation is
+    // bit-identical.
+    const auto again = xbar.observeBatchSeeded(batch, window, seeds);
+    for (std::size_t c = 0; c < 4; ++c)
         for (std::size_t b = 0; b < batch.size(); ++b)
-            EXPECT_EQ(seeded[c].stream(b).words(),
-                      live[c].stream(b).words())
+            EXPECT_EQ(again[c].stream(b).words(),
+                      seeded[c].stream(b).words())
                 << "column " << c << " sample " << b;
 }
 

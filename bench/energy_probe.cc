@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Energy-ledger determinism probe for CI: prints the fixed probe
+ * workload's observed hardware-activity counts and the ledger-priced +
+ * analytic energy reports as deterministic JSON. Like
+ * determinism_probe, the stdout of this program must be byte-identical
+ * for any SUPERBNN_THREADS value and any SUPERBNN_SIMD arm — CI diffs
+ * it across settings, and tests/test_energy_ledger.cc pins the same
+ * bytes against the checked-in golden file
+ * (tests/golden/energy_probe.json).
+ */
+
+#include <cstdio>
+
+#include "energy_ledger_util.h"
+
+int
+main()
+{
+    const std::string json = energy_ledger_util::energyProbeJson();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return 0;
+}

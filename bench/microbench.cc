@@ -133,6 +133,33 @@ BM_TileExecutorForward(benchmark::State &state)
 BENCHMARK(BM_TileExecutorForward)->Arg(1)->Arg(8)->Arg(32);
 
 void
+BM_TileExecutorForwardLedger(benchmark::State &state)
+{
+    // Same workload as BM_TileExecutorForward at window 16, with a
+    // HardwareLedger attached: the delta against that baseline is the
+    // full cost of the instrumented energy accounting (a handful of
+    // integer adds per task — it should be noise).
+    const std::size_t cs = 16;
+    const std::size_t window = 16;
+    const aqfp::AttenuationModel atten;
+    const crossbar::CrossbarMapper mapper(cs, atten, 2.4);
+    Rng rng(4);
+    Tensor w({64, 128});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    crossbar::MappedLayer layer = mapper.map(w);
+    const crossbar::TileExecutor exec(window, false, 0.25, 1);
+    std::vector<int> acts(128);
+    for (auto &a : acts)
+        a = rng.bernoulli(0.5) ? 1 : -1;
+    aqfp::HardwareLedger ledger;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            exec.forward(layer, acts, rng, &ledger));
+}
+BENCHMARK(BM_TileExecutorForwardLedger);
+
+void
 BM_TileExecutorForwardBatch(benchmark::State &state)
 {
     const std::size_t threads = static_cast<std::size_t>(state.range(0));

@@ -1,11 +1,32 @@
 #include "aqfp/energy.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
 
 #include "aqfp/clocking.h"
 
 namespace superbnn::aqfp {
+
+namespace {
+
+/**
+ * The shared buffer-chain activation memory both pricing paths charge:
+ * one word of the workload's widest activation, 3-phase clocking
+ * (Section 4.4). Single construction point — the measured-vs-analytic
+ * memory-term agreement depends on every caller sizing identical
+ * hardware.
+ */
+BufferChainMemory
+activationBuffer(std::size_t max_act_bits, const CellLibrary &lib)
+{
+    return BufferChainMemory(1, std::max<std::size_t>(max_act_bits, 1),
+                             3, lib);
+}
+
+} // namespace
 
 LayerSpec
 LayerSpec::conv(std::string name, std::size_t in_ch, std::size_t out_ch,
@@ -22,12 +43,63 @@ LayerSpec::fc(std::string name, std::size_t in_features,
 }
 
 std::size_t
+LayerSpec::macs() const
+{
+    std::size_t product = 0;
+    if (__builtin_mul_overflow(fanIn, fanOut, &product)
+        || __builtin_mul_overflow(product, positions, &product))
+        throw std::overflow_error(
+            "LayerSpec::macs: fanIn * fanOut * positions overflows "
+            "std::size_t in layer '"
+            + name + "'");
+    return product;
+}
+
+std::size_t
+LayerSpec::ops() const
+{
+    std::size_t result = 0;
+    if (__builtin_mul_overflow(macs(), std::size_t{2}, &result))
+        throw std::overflow_error(
+            "LayerSpec::ops: 2 * macs() overflows std::size_t in "
+            "layer '"
+            + name + "'");
+    return result;
+}
+
+void
+LayerSpec::validate() const
+{
+    if (fanIn == 0 || fanOut == 0 || positions == 0)
+        throw std::invalid_argument(
+            "LayerSpec '" + name
+            + "': fanIn, fanOut and positions must all be nonzero (got "
+            + std::to_string(fanIn) + " x " + std::to_string(fanOut)
+            + " x " + std::to_string(positions) + ")");
+}
+
+std::size_t
 WorkloadSpec::totalMacs() const
 {
     std::size_t total = 0;
     for (const auto &l : layers)
-        total += l.macs();
+        if (__builtin_add_overflow(total, l.macs(), &total))
+            throw std::overflow_error(
+                "WorkloadSpec::totalMacs overflows std::size_t in "
+                "workload '"
+                + name + "'");
     return total;
+}
+
+std::size_t
+WorkloadSpec::totalOps() const
+{
+    std::size_t ops = 0;
+    if (__builtin_mul_overflow(totalMacs(), std::size_t{2}, &ops))
+        throw std::overflow_error(
+            "WorkloadSpec::totalOps overflows std::size_t in workload '"
+            + name + "'");
+    return ops;
 }
 
 std::size_t
@@ -37,6 +109,32 @@ WorkloadSpec::totalWeightBits() const
     for (const auto &l : layers)
         total += l.fanIn * l.fanOut;
     return total;
+}
+
+std::size_t
+WorkloadSpec::maxActivationBits() const
+{
+    std::size_t max_bits = 0;
+    for (const auto &l : layers) {
+        std::size_t bits = 0;
+        if (__builtin_mul_overflow(l.fanOut, l.positions, &bits))
+            throw std::overflow_error(
+                "WorkloadSpec::maxActivationBits: fanOut * positions "
+                "overflows std::size_t in layer '"
+                + l.name + "'");
+        max_bits = std::max(max_bits, bits);
+    }
+    return max_bits;
+}
+
+void
+WorkloadSpec::validate() const
+{
+    if (layers.empty())
+        throw std::invalid_argument("WorkloadSpec '" + name
+                                    + "' has no layers");
+    for (const auto &l : layers)
+        l.validate();
 }
 
 EnergyModel::EnergyModel(CrossbarHardwareModel hardware)
@@ -71,68 +169,13 @@ EnergyModel::scModuleJj(std::size_t row_tiles,
     return full_adders * fa_jj + accumulator_jj + comparator_jj;
 }
 
-EnergyReport
-EnergyModel::evaluate(const WorkloadSpec &workload,
-                      const AcceleratorConfig &config) const
+void
+EnergyModel::finalizeReport(EnergyReport &rep,
+                            const AcceleratorConfig &config) const
 {
-    assert(config.crossbarSize >= 1 && config.bitstreamLength >= 1);
-    assert(config.frequencyGhz > 0.0);
-
-    const std::size_t cs = config.crossbarSize;
-    const std::size_t len = config.bitstreamLength;
-    const double e_jj = CellLibrary::energyPerJjAj(config.frequencyGhz);
-    const double e_xbar_cycle =
-        hw.energyPerCycleAj(cs, config.frequencyGhz);
-
-    EnergyReport rep;
-    rep.opsPerImage = workload.totalOps();
-
-    double xbar_cycles_energy = 0.0;  // crossbar-cycles weighted count
-    double sc_energy = 0.0;
-    double serial_cycles = 0.0;
-    std::size_t crossbars = 0;
-    std::size_t sc_jj_total = 0;
-
-    for (const auto &layer : workload.layers) {
-        const std::size_t row_tiles = (layer.fanIn + cs - 1) / cs;
-        const std::size_t col_tiles = (layer.fanOut + cs - 1) / cs;
-        crossbars += row_tiles * col_tiles;
-
-        // Each output position evaluates all row tiles of one column
-        // group in parallel for L cycles; column groups serialize.
-        const double evals = static_cast<double>(layer.positions)
-            * static_cast<double>(col_tiles) * static_cast<double>(len);
-        serial_cycles += evals;
-        xbar_cycles_energy += evals * static_cast<double>(row_tiles);
-
-        // One SC accumulation module per crossbar column, Cs columns per
-        // column group, active for every evaluation cycle.
-        const std::size_t sc_jj = scModuleJj(row_tiles, len);
-        sc_jj_total += sc_jj * cs * col_tiles;
-        sc_energy += evals * static_cast<double>(sc_jj)
-            * static_cast<double>(cs) * e_jj;
-    }
-
-    rep.crossbarEnergyAj = xbar_cycles_energy * e_xbar_cycle;
-    rep.scModuleEnergyAj = sc_energy;
-
-    // Activation memory: buffer-chain memory holding the widest
-    // intermediate feature map, refreshed every compute cycle. 3-phase
-    // memory clocking per Section 4.4.
-    std::size_t max_act_bits = 0;
-    for (const auto &layer : workload.layers)
-        max_act_bits = std::max(max_act_bits, layer.fanOut * layer.positions);
-    const BufferChainMemory act_mem(1, std::max<std::size_t>(max_act_bits, 1),
-                                    3, hw.library());
-    // Only the accessed slice (one column group worth per cycle) switches.
-    const double mem_active_fraction = 0.02;
-    rep.memoryEnergyAj = serial_cycles
-        * static_cast<double>(act_mem.totalJj()) * mem_active_fraction * e_jj;
-
     rep.totalEnergyAj = rep.crossbarEnergyAj + rep.scModuleEnergyAj
         + rep.memoryEnergyAj;
-    rep.cyclesPerImage = serial_cycles;
-    rep.latencyUs = serial_cycles / (config.frequencyGhz * 1e3); // ns->us
+    rep.latencyUs = rep.cyclesPerImage / (config.frequencyGhz * 1e3);
     rep.throughputImagesPerMs =
         (rep.latencyUs > 0.0) ? 1e3 / rep.latencyUs : 0.0;
 
@@ -142,11 +185,200 @@ EnergyModel::evaluate(const WorkloadSpec &workload,
         ? static_cast<double>(rep.opsPerImage) / joules / 1e12
         : 0.0;
     rep.topsPerWattCooled = rep.topsPerWatt / kCoolingFactor;
+}
 
-    rep.crossbarCount = crossbars;
-    rep.totalJj = crossbars * hw.jjCount(cs) + sc_jj_total
-        + act_mem.totalJj();
+EnergyReport
+EnergyModel::evaluateLayer(const LayerSpec &layer,
+                           const AcceleratorConfig &config,
+                           std::size_t max_act_bits) const
+{
+    assert(config.crossbarSize >= 1 && config.bitstreamLength >= 1);
+    assert(config.frequencyGhz > 0.0);
+    layer.validate();
+
+    const std::size_t cs = config.crossbarSize;
+    const std::size_t len = config.bitstreamLength;
+    const double e_jj = CellLibrary::energyPerJjAj(config.frequencyGhz);
+    const double e_xbar_cycle =
+        hw.energyPerCycleAj(cs, config.frequencyGhz);
+
+    const std::size_t row_tiles = (layer.fanIn + cs - 1) / cs;
+    const std::size_t col_tiles = (layer.fanOut + cs - 1) / cs;
+
+    EnergyReport rep;
+    rep.opsPerImage = layer.ops();
+
+    // Each output position evaluates all row tiles of one column group
+    // in parallel for L cycles; column groups serialize.
+    const double evals = static_cast<double>(layer.positions)
+        * static_cast<double>(col_tiles) * static_cast<double>(len);
+    rep.crossbarEnergyAj =
+        evals * static_cast<double>(row_tiles) * e_xbar_cycle;
+
+    // One SC accumulation module per crossbar column, Cs columns per
+    // column group, active for every evaluation cycle.
+    const std::size_t sc_jj = scModuleJj(row_tiles, len);
+    rep.scModuleEnergyAj = evals * static_cast<double>(sc_jj)
+        * static_cast<double>(cs) * e_jj;
+
+    // Activation memory: buffer-chain memory holding the widest
+    // intermediate feature map of the whole workload, refreshed every
+    // compute cycle; only the accessed slice (one column group worth
+    // per cycle) switches.
+    const BufferChainMemory act_mem =
+        activationBuffer(max_act_bits, hw.library());
+    rep.memoryEnergyAj = evals
+        * static_cast<double>(act_mem.totalJj()) * kMemoryActiveFraction
+        * e_jj;
+
+    rep.cyclesPerImage = evals;
+    finalizeReport(rep, config);
+
+    rep.crossbarCount = row_tiles * col_tiles;
+    rep.totalJj = rep.crossbarCount * hw.jjCount(cs)
+        + sc_jj * cs * col_tiles;
     return rep;
+}
+
+EnergyReport
+EnergyModel::combineLayerReports(const std::vector<EnergyReport> &layers,
+                                 const AcceleratorConfig &config,
+                                 std::size_t ops_per_image,
+                                 std::size_t max_act_bits) const
+{
+    EnergyReport rep;
+    rep.opsPerImage = ops_per_image;
+    for (const EnergyReport &lr : layers) {
+        rep.crossbarEnergyAj += lr.crossbarEnergyAj;
+        rep.scModuleEnergyAj += lr.scModuleEnergyAj;
+        rep.memoryEnergyAj += lr.memoryEnergyAj;
+        rep.cyclesPerImage += lr.cyclesPerImage;
+        rep.crossbarCount += lr.crossbarCount;
+        rep.totalJj += lr.totalJj;
+    }
+    finalizeReport(rep, config);
+    // The shared activation buffer is one piece of hardware; count its
+    // JJs once at the workload level (per-layer reports exclude it).
+    rep.totalJj += activationBuffer(max_act_bits, hw.library()).totalJj();
+    return rep;
+}
+
+EnergyReport
+EnergyModel::evaluate(const WorkloadSpec &workload,
+                      const AcceleratorConfig &config) const
+{
+    workload.validate();
+    const std::size_t max_act_bits = workload.maxActivationBits();
+
+    std::vector<EnergyReport> layers;
+    layers.reserve(workload.layers.size());
+    for (const auto &layer : workload.layers)
+        layers.push_back(evaluateLayer(layer, config, max_act_bits));
+    return combineLayerReports(layers, config, workload.totalOps(),
+                               max_act_bits);
+}
+
+EnergyReport
+EnergyModel::priceLedger(const LedgerCounts &counts,
+                         const LedgerPricingContext &ctx) const
+{
+    const AcceleratorConfig &config = ctx.config;
+    assert(config.crossbarSize >= 1 && config.bitstreamLength >= 1);
+    assert(config.frequencyGhz > 0.0);
+    assert(ctx.images > 0.0 && ctx.countScale > 0.0);
+
+    const std::size_t cs = config.crossbarSize;
+    const std::size_t len = config.bitstreamLength;
+    const double e_jj = CellLibrary::energyPerJjAj(config.frequencyGhz);
+    const double e_xbar_cycle =
+        hw.energyPerCycleAj(cs, config.frequencyGhz);
+    const double scale = ctx.countScale / ctx.images;
+
+    EnergyReport rep;
+    rep.opsPerImage = ctx.opsPerImage;
+
+    // Crossbar arrays: every observed active tile-cycle costs one
+    // Table-1 per-cycle energy quantum.
+    rep.crossbarEnergyAj =
+        static_cast<double>(counts.crossbarCycles) * scale * e_xbar_cycle;
+
+    // SC accumulation modules: each observed column merge keeps one
+    // module busy for the whole window. Only real columns are counted
+    // (the analytic model charges whole Cs-wide groups — the one
+    // documented divergence, asserted by the differential suite).
+    const std::size_t sc_jj = scModuleJj(ctx.rowTiles, len);
+    rep.scModuleEnergyAj = static_cast<double>(counts.apcAccumulations)
+        * scale * static_cast<double>(len) * static_cast<double>(sc_jj)
+        * e_jj;
+
+    // Activation memory: priced over the observed serialized cycles
+    // with the same workload-wide buffer the analytic model sizes.
+    const double serial =
+        static_cast<double>(counts.columnGroupSteps) * scale;
+    const BufferChainMemory act_mem =
+        activationBuffer(ctx.maxActBits, hw.library());
+    rep.memoryEnergyAj = serial
+        * static_cast<double>(act_mem.totalJj()) * kMemoryActiveFraction
+        * e_jj;
+
+    rep.cyclesPerImage = serial;
+    finalizeReport(rep, config);
+
+    rep.crossbarCount = ctx.rowTiles * ctx.colTiles;
+    rep.totalJj = rep.crossbarCount * hw.jjCount(cs)
+        + sc_jj * cs * ctx.colTiles;
+    return rep;
+}
+
+namespace {
+
+double
+relDelta(double measured, double analytic)
+{
+    if (analytic == 0.0)
+        return measured == 0.0
+            ? 0.0
+            : std::copysign(INFINITY, measured);
+    return (measured - analytic) / analytic;
+}
+
+} // namespace
+
+EnergyDelta
+reconcile(const EnergyReport &measured, const EnergyReport &analytic)
+{
+    EnergyDelta d;
+    d.crossbarEnergyRel =
+        relDelta(measured.crossbarEnergyAj, analytic.crossbarEnergyAj);
+    d.scModuleEnergyRel =
+        relDelta(measured.scModuleEnergyAj, analytic.scModuleEnergyAj);
+    d.memoryEnergyRel =
+        relDelta(measured.memoryEnergyAj, analytic.memoryEnergyAj);
+    d.totalEnergyRel =
+        relDelta(measured.totalEnergyAj, analytic.totalEnergyAj);
+    d.latencyRel = relDelta(measured.latencyUs, analytic.latencyUs);
+    return d;
+}
+
+std::string
+toJson(const EnergyReport &rep)
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"opsPerImage\":%zu,\"crossbarEnergyAj\":%.17g"
+        ",\"scModuleEnergyAj\":%.17g,\"memoryEnergyAj\":%.17g"
+        ",\"totalEnergyAj\":%.17g,\"cyclesPerImage\":%.17g"
+        ",\"latencyUs\":%.17g,\"throughputImagesPerMs\":%.17g"
+        ",\"powerW\":%.17g,\"topsPerWatt\":%.17g"
+        ",\"topsPerWattCooled\":%.17g,\"totalJj\":%zu"
+        ",\"crossbarCount\":%zu}",
+        rep.opsPerImage, rep.crossbarEnergyAj, rep.scModuleEnergyAj,
+        rep.memoryEnergyAj, rep.totalEnergyAj, rep.cyclesPerImage,
+        rep.latencyUs, rep.throughputImagesPerMs, rep.powerW,
+        rep.topsPerWatt, rep.topsPerWattCooled, rep.totalJj,
+        rep.crossbarCount);
+    return buf;
 }
 
 namespace workloads {

@@ -1,6 +1,7 @@
 #include "core/hardware_eval.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace superbnn::core {
 
@@ -33,6 +34,7 @@ HardwareEvaluator::mapMlp(const RandomizedMlp &model)
     headAlpha.assign(head.alpha().value.data(),
                      head.alpha().value.data()
                          + head.alpha().value.size());
+    initLedgers();
 }
 
 void
@@ -65,6 +67,95 @@ HardwareEvaluator::mapCnn(const RandomizedCnn &model)
     headAlpha.assign(head.alpha().value.data(),
                      head.alpha().value.data()
                          + head.alpha().value.size());
+    initLedgers();
+}
+
+void
+HardwareEvaluator::initLedgers()
+{
+    ledgers.clear();
+    for (std::size_t i = 0; i < mapped.size() + 1; ++i)
+        ledgers.emplace_back();
+    images_.store(0, std::memory_order_relaxed);
+}
+
+void
+HardwareEvaluator::resetLedgers()
+{
+    for (auto &l : ledgers)
+        l.reset();
+    images_.store(0, std::memory_order_relaxed);
+}
+
+aqfp::LayerSpec
+HardwareEvaluator::layerSpec(std::size_t i) const
+{
+    if (i == mapped.size())
+        return aqfp::LayerSpec::fc("head", headMapped.fanIn,
+                                   headMapped.fanOut);
+    const MappedCell &mc = mapped[i];
+    if (kind == Kind::Cnn) {
+        aqfp::LayerSpec spec;
+        spec.name = "conv" + std::to_string(i + 1);
+        spec.fanIn = mc.layer.fanIn;
+        spec.fanOut = mc.layer.fanOut;
+        spec.positions = mc.inSide * mc.inSide;
+        return spec;
+    }
+    return aqfp::LayerSpec::fc("fc" + std::to_string(i + 1),
+                               mc.layer.fanIn, mc.layer.fanOut);
+}
+
+std::vector<LayerEnergyReport>
+HardwareEvaluator::energyReports(double frequency_ghz) const
+{
+    if (kind == Kind::None)
+        throw std::logic_error(
+            "HardwareEvaluator::energyReports: map a model first");
+    const std::uint64_t images = imagesObserved();
+    if (images == 0)
+        throw std::logic_error(
+            "HardwareEvaluator::energyReports: no samples evaluated "
+            "since mapping / resetLedgers()");
+
+    const aqfp::EnergyModel model;
+    const aqfp::AcceleratorConfig acfg{cfg.crossbarSize, cfg.window,
+                                       frequency_ghz, cfg.deltaIinUa};
+    // The analytic memory term sizes the buffer for the widest
+    // activation of the whole mapped network; price the ledgers
+    // against the same hardware.
+    aqfp::WorkloadSpec mapped_spec;
+    for (std::size_t i = 0; i < ledgers.size(); ++i)
+        mapped_spec.layers.push_back(layerSpec(i));
+    const std::size_t max_act_bits = mapped_spec.maxActivationBits();
+
+    std::vector<LayerEnergyReport> reports;
+    reports.reserve(ledgers.size());
+    for (std::size_t i = 0; i < ledgers.size(); ++i) {
+        const aqfp::LayerSpec &spec = mapped_spec.layers[i];
+        const crossbar::MappedLayer &layer =
+            i == mapped.size() ? headMapped : mapped[i].layer;
+
+        LayerEnergyReport rep;
+        rep.name = spec.name;
+        rep.counts = ledgers[i].totals();
+
+        aqfp::LedgerPricingContext ctx;
+        ctx.config = acfg;
+        ctx.rowTiles = layer.rowTiles;
+        ctx.colTiles = layer.colTiles;
+        ctx.opsPerImage = spec.ops();
+        // The executor really ran every spatial position (conv layers
+        // are driven patch-wise), so the counts need no replay scaling
+        // — only normalization to one image.
+        ctx.images = static_cast<double>(images);
+        ctx.maxActBits = max_act_bits;
+        rep.measured = model.priceLedger(rep.counts, ctx);
+        rep.analytic = model.evaluateLayer(spec, acfg, max_act_bits);
+        rep.delta = aqfp::reconcile(rep.measured, rep.analytic);
+        reports.push_back(std::move(rep));
+    }
+    return reports;
 }
 
 std::vector<int>
@@ -81,17 +172,18 @@ HardwareEvaluator::runMlpBatch(
     const std::vector<std::vector<int>> &inputs, Rng &rng) const
 {
     std::vector<std::vector<int>> acts = inputs;
-    for (const auto &mc : mapped) {
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+        const MappedCell &mc = mapped[i];
         std::vector<std::vector<int>> next =
-            executor.forward(mc.layer, acts, rng);
+            executor.forward(mc.layer, acts, rng, &ledgers[i]);
         for (auto &sample : next)
             for (std::size_t j = 0; j < sample.size(); ++j)
                 if (mc.flip[j])
                     sample[j] = -sample[j];
         acts = std::move(next);
     }
-    std::vector<std::vector<double>> scores =
-        executor.forwardDecoded(headMapped, acts, rng);
+    std::vector<std::vector<double>> scores = executor.forwardDecoded(
+        headMapped, acts, rng, &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];
@@ -109,7 +201,8 @@ HardwareEvaluator::runCnnBatch(
     // once for samples * side * side patches instead of once per patch.
     const std::size_t samples = inputs.size();
     std::vector<std::vector<int>> acts = inputs;
-    for (const auto &mc : mapped) {
+    for (std::size_t li = 0; li < mapped.size(); ++li) {
+        const MappedCell &mc = mapped[li];
         const std::size_t side = mc.inSide;
         const std::size_t in_ch = mc.inChannels;
         const std::size_t out_ch = mc.outChannels;
@@ -145,7 +238,7 @@ HardwareEvaluator::runCnnBatch(
             }
         }
         const std::vector<std::vector<int>> outs =
-            executor.forward(mc.layer, patches, rng);
+            executor.forward(mc.layer, patches, rng, &ledgers[li]);
         std::vector<std::vector<int>> conv_out(
             samples, std::vector<int>(out_ch * side * side));
         for (std::size_t b = 0; b < samples; ++b) {
@@ -188,8 +281,8 @@ HardwareEvaluator::runCnnBatch(
             acts = std::move(conv_out);
         }
     }
-    std::vector<std::vector<double>> scores =
-        executor.forwardDecoded(headMapped, acts, rng);
+    std::vector<std::vector<double>> scores = executor.forwardDecoded(
+        headMapped, acts, rng, &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];
@@ -205,6 +298,7 @@ HardwareEvaluator::classScores(const std::vector<Tensor> &samples,
     inputs.reserve(samples.size());
     for (const Tensor &s : samples)
         inputs.push_back(binarizeInput(s));
+    images_.fetch_add(samples.size(), std::memory_order_relaxed);
     return kind == Kind::Mlp ? runMlpBatch(inputs, rng)
                              : runCnnBatch(inputs, rng);
 }

@@ -12,8 +12,14 @@
 #ifndef SUPERBNN_CORE_HARDWARE_EVAL_H
 #define SUPERBNN_CORE_HARDWARE_EVAL_H
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
 #include <vector>
 
+#include "aqfp/energy.h"
+#include "aqfp/ledger.h"
 #include "core/bn_matching.h"
 #include "core/models.h"
 #include "crossbar/mapper.h"
@@ -40,7 +46,34 @@ struct HardwareConfig
 };
 
 /**
+ * Ledger-priced, reconciled energy accounting for one mapped layer:
+ * the raw activity observed while the simulator ran, that activity
+ * priced per image with the Table-1 cost model, the analytic
+ * prediction for the same geometry, and their component-wise relative
+ * differences.
+ */
+struct LayerEnergyReport
+{
+    std::string name;
+    aqfp::LedgerCounts counts;   ///< observed totals since mapping/reset
+    aqfp::EnergyReport measured; ///< ledger-priced, per image
+    aqfp::EnergyReport analytic; ///< analytic model, same geometry
+    aqfp::EnergyDelta delta;     ///< reconcile(measured, analytic)
+};
+
+/**
  * Maps a trained model onto simulated AQFP hardware and evaluates it.
+ *
+ * Every forward pass is instrumented: each mapped layer (and the head)
+ * owns an aqfp::HardwareLedger that accumulates the observed hardware
+ * activity, so accuracy evaluation doubles as energy measurement — see
+ * energyReports().
+ *
+ * One evaluator serves one evaluation stream at a time: the const
+ * evaluation methods record into the shared per-layer ledgers, so
+ * concurrent classScores/predict/evaluate calls on the SAME evaluator
+ * are not supported (use one evaluator per thread; they can share the
+ * process-wide executor pool).
  */
 class HardwareEvaluator
 {
@@ -99,6 +132,30 @@ class HardwareEvaluator
     std::size_t totalCrossbars() const;
 
     /**
+     * Per-layer energy/latency reports priced from the activity the
+     * ledgers observed since mapping (or the last resetLedgers()),
+     * normalized per image, plus the analytic prediction for each
+     * layer's geometry and the reconciliation delta. The mapped layers
+     * come first (in network order), the classifier head last.
+     *
+     * @param frequency_ghz  AQFP clock rate the counts are priced at
+     * @throws std::logic_error when no model is mapped or no samples
+     *         have been evaluated yet (there is nothing to price)
+     */
+    std::vector<LayerEnergyReport>
+    energyReports(double frequency_ghz = 5.0) const;
+
+    /** Images evaluated since mapping / the last resetLedgers(). */
+    std::uint64_t
+    imagesObserved() const
+    {
+        return images_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero every layer ledger and the image counter. */
+    void resetLedgers();
+
+    /**
      * Robustness experiments: apply fabrication gray-zone variation
      * and/or stuck-cell faults to every mapped tile (including the
      * head). Returns the number of stuck cells injected.
@@ -129,6 +186,17 @@ class HardwareEvaluator
     std::vector<MappedCell> mapped;
     crossbar::MappedLayer headMapped;
     std::vector<float> headAlpha;
+    /// One ledger per mapped layer plus one for the head (a deque
+    /// because HardwareLedger is pinned in place by its atomics).
+    /// Mutable: observation during const evaluation is bookkeeping,
+    /// not model state.
+    mutable std::deque<aqfp::HardwareLedger> ledgers;
+    mutable std::atomic<std::uint64_t> images_{0};
+
+    /** Allocate one fresh ledger per mapped layer + head. */
+    void initLedgers();
+    /** LayerSpec mirroring mapped layer @p i (head = mapped.size()). */
+    aqfp::LayerSpec layerSpec(std::size_t i) const;
 
     std::vector<int> binarizeInput(const Tensor &sample) const;
     std::vector<std::vector<double>>

@@ -173,7 +173,8 @@ CrossbarArray::observeBatch(const std::vector<std::vector<int>> &batch,
 std::vector<sc::BitstreamBatch>
 CrossbarArray::observeBatchSeeded(
     const std::vector<std::vector<int>> &batch, std::size_t window,
-    const std::vector<std::uint64_t> &seeds) const
+    const std::vector<std::uint64_t> &seeds,
+    aqfp::TileCounts *counts) const
 {
     assert(seeds.size() == batch.size());
     const std::size_t samples = batch.size();
@@ -195,6 +196,13 @@ CrossbarArray::observeBatchSeeded(
                 static_cast<double>(sums[b * size_ + c]) * unitCurrent);
             sc::detail::bernoulliFill(out[c].words(b), window, p,
                                       stream);
+        }
+        if (counts) {
+            counts->observations += 1;
+            counts->cycles += window;
+            // The counter position after the fill IS the number of raw
+            // draws this sample consumed (observed, not derived).
+            counts->bernoulliDraws += stream.counter;
         }
     }
     return out;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "aqfp/attenuation.h"
+#include "aqfp/ledger.h"
 #include "crossbar/lim_cell.h"
 #include "crossbar/neuron.h"
 #include "sc/bitstream.h"
@@ -127,11 +128,19 @@ class CrossbarArray
      * step itself vectorizes (simd::KernelSet counter kernel).
      * Deterministic in (seeds, window, programmed state) alone and
      * bit-identical on every dispatch arm.
+     *
+     * When @p counts is non-null the tile reports its real activity
+     * into it (adding to whatever is there): one observation per
+     * sample, window active cycles per observation, and the raw
+     * counter draws actually consumed — read back from the counter
+     * streams rather than derived from the geometry, so the ledger
+     * measures the simulator instead of re-modelling it.
      */
     std::vector<sc::BitstreamBatch>
     observeBatchSeeded(const std::vector<std::vector<int>> &batch,
                        std::size_t window,
-                       const std::vector<std::uint64_t> &seeds) const;
+                       const std::vector<std::uint64_t> &seeds,
+                       aqfp::TileCounts *counts = nullptr) const;
 
     /** Probability of '1' per column (the exact Eq.-1 probabilities). */
     std::vector<double>

@@ -86,7 +86,8 @@ void
 TileExecutor::observeTiles(
     const MappedLayer &layer, const std::vector<std::vector<int>> &batch,
     Rng &rng,
-    std::vector<std::vector<sc::BitstreamBatch>> &observed) const
+    std::vector<std::vector<sc::BitstreamBatch>> &observed,
+    aqfp::HardwareLedger *ledger) const
 {
     const std::size_t samples = batch.size();
     // Root seeds are drawn in sample order before any parallel work, so
@@ -94,6 +95,9 @@ TileExecutor::observeTiles(
     std::vector<std::uint64_t> roots(samples);
     for (auto &r : roots)
         r = rng.raw()();
+
+    if (ledger)
+        ledger->beginForward(layer.rowTiles, layer.colTiles, samples);
 
     observed.assign(layer.rowTiles * layer.colTiles, {});
     runParallel(layer.rowTiles * layer.colTiles, [&](std::size_t t) {
@@ -109,15 +113,55 @@ TileExecutor::observeTiles(
             seeds[b] = tileSeed(roots[b], rt, ct);
         }
         // Each task owns its scratch slot: no synchronization needed.
+        aqfp::TileCounts counts;
         observed[t] = layer.tile(rt, ct).observeBatchSeeded(
-            slices, window_, seeds);
+            slices, window_, seeds, ledger ? &counts : nullptr);
+        // This task is the only writer of slot (rt, ct) this pass.
+        if (ledger)
+            ledger->recordTile(rt, ct, counts);
     });
+}
+
+void
+TileExecutor::mergeColumns(
+    const MappedLayer &layer, std::size_t samples,
+    const std::vector<std::vector<sc::BitstreamBatch>> &observed,
+    const sc::AccumulationModule &accum, aqfp::HardwareLedger *ledger,
+    const std::function<void(std::size_t, std::size_t,
+                             const std::vector<sc::StreamView> &)> &emit)
+    const
+{
+    // One task per (sample, column group); each writes a disjoint
+    // slice of the output through emit.
+    runParallel(samples * layer.colTiles, [&](std::size_t t) {
+        const std::size_t b = t / layer.colTiles;
+        const std::size_t ct = t % layer.colTiles;
+        const std::size_t c0 = ct * layer.cs;
+        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
+        std::vector<sc::StreamView> column(layer.rowTiles);
+        for (std::size_t c = 0; c < cols; ++c) {
+            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
+                column[rt] =
+                    observed[rt * layer.colTiles + ct][c].view(b);
+            emit(b, c0 + c, column);
+        }
+        // Only real columns are merged (a partial tail group merges
+        // fewer than Cs); the group still serializes for one full
+        // window of cycles.
+        if (ledger)
+            ledger->recordMerge(cols, cols * accum.mergeInputBits(),
+                                window_);
+    });
+    if (ledger)
+        ledger->recordBuffer(
+            static_cast<std::uint64_t>(samples) * layer.fanIn,
+            static_cast<std::uint64_t>(samples) * layer.fanOut);
 }
 
 std::vector<std::vector<int>>
 TileExecutor::forward(const MappedLayer &layer,
                       const std::vector<std::vector<int>> &batch,
-                      Rng &rng) const
+                      Rng &rng, aqfp::HardwareLedger *ledger) const
 {
 #ifndef NDEBUG
     for (const auto &acts : batch)
@@ -130,42 +174,33 @@ TileExecutor::forward(const MappedLayer &layer,
         return out;
 
     std::vector<std::vector<sc::BitstreamBatch>> observed;
-    observeTiles(layer, batch, rng, observed); // barrier inside
+    observeTiles(layer, batch, rng, observed, ledger); // barrier inside
 
     const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
                                        dropFraction);
-    // Merge phase: one task per (sample, column group); each writes a
-    // disjoint slice of the output.
-    runParallel(samples * layer.colTiles, [&](std::size_t t) {
-        const std::size_t b = t / layer.colTiles;
-        const std::size_t ct = t % layer.colTiles;
-        const std::size_t c0 = ct * layer.cs;
-        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
-        std::vector<sc::StreamView> column(layer.rowTiles);
-        for (std::size_t c = 0; c < cols; ++c) {
-            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column[rt] =
-                    observed[rt * layer.colTiles + ct][c].view(b);
-            out[b][c0 + c] = accum.accumulate(column);
-        }
-    });
+    mergeColumns(layer, samples, observed, accum, ledger,
+                 [&](std::size_t b, std::size_t col,
+                     const std::vector<sc::StreamView> &column) {
+                     out[b][col] = accum.accumulate(column);
+                 });
     return out;
 }
 
 std::vector<int>
 TileExecutor::forward(const MappedLayer &layer,
-                      const std::vector<int> &activations, Rng &rng) const
+                      const std::vector<int> &activations, Rng &rng,
+                      aqfp::HardwareLedger *ledger) const
 {
     assert(activations.size() == layer.fanIn);
     auto batched = forward(
-        layer, std::vector<std::vector<int>>{activations}, rng);
+        layer, std::vector<std::vector<int>>{activations}, rng, ledger);
     return std::move(batched[0]);
 }
 
 std::vector<std::vector<double>>
 TileExecutor::forwardDecoded(const MappedLayer &layer,
                              const std::vector<std::vector<int>> &batch,
-                             Rng &rng) const
+                             Rng &rng, aqfp::HardwareLedger *ledger) const
 {
 #ifndef NDEBUG
     for (const auto &acts : batch)
@@ -178,34 +213,26 @@ TileExecutor::forwardDecoded(const MappedLayer &layer,
         return out;
 
     std::vector<std::vector<sc::BitstreamBatch>> observed;
-    observeTiles(layer, batch, rng, observed);
+    observeTiles(layer, batch, rng, observed, ledger);
 
     const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
                                        dropFraction);
-    runParallel(samples * layer.colTiles, [&](std::size_t t) {
-        const std::size_t b = t / layer.colTiles;
-        const std::size_t ct = t % layer.colTiles;
-        const std::size_t c0 = ct * layer.cs;
-        const std::size_t cols = std::min(layer.cs, layer.fanOut - c0);
-        std::vector<sc::StreamView> column(layer.rowTiles);
-        for (std::size_t c = 0; c < cols; ++c) {
-            for (std::size_t rt = 0; rt < layer.rowTiles; ++rt)
-                column[rt] =
-                    observed[rt * layer.colTiles + ct][c].view(b);
-            out[b][c0 + c] = accum.decodedSum(column);
-        }
-    });
+    mergeColumns(layer, samples, observed, accum, ledger,
+                 [&](std::size_t b, std::size_t col,
+                     const std::vector<sc::StreamView> &column) {
+                     out[b][col] = accum.decodedSum(column);
+                 });
     return out;
 }
 
 std::vector<double>
 TileExecutor::forwardDecoded(const MappedLayer &layer,
                              const std::vector<int> &activations,
-                             Rng &rng) const
+                             Rng &rng, aqfp::HardwareLedger *ledger) const
 {
     assert(activations.size() == layer.fanIn);
     auto batched = forwardDecoded(
-        layer, std::vector<std::vector<int>>{activations}, rng);
+        layer, std::vector<std::vector<int>>{activations}, rng, ledger);
     return std::move(batched[0]);
 }
 

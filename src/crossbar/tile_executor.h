@@ -26,6 +26,13 @@
  *  - a batched forward of N samples is bit-identical to N consecutive
  *    single-sample forwards from the same starting Rng state (each
  *    single forward consumes exactly one root draw).
+ *
+ * Forward passes can additionally report their observed hardware
+ * activity (tile cycles, Bernoulli draws, APC merges, serialization
+ * steps, buffer traffic) into an aqfp::HardwareLedger, which
+ * aqfp::energy prices with the Table-1 cost model — the instrumented
+ * counterpart of the analytic energy estimator. Ledger totals obey the
+ * same determinism contract as the outputs.
  */
 
 #ifndef SUPERBNN_CROSSBAR_TILE_EXECUTOR_H
@@ -35,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "aqfp/ledger.h"
 #include "crossbar/mapper.h"
 #include "sc/accumulation.h"
 #include "sc/bitstream_batch.h"
@@ -69,11 +77,19 @@ class TileExecutor
      * @param rng          randomness source (device noise); exactly one
      *                     raw draw is consumed as the per-sample root
      *                     seed
+     * @param ledger       optional hardware-activity ledger: when
+     *                     non-null the pass reports observed tile
+     *                     cycles, Bernoulli draws, APC merges,
+     *                     column-group serialization steps and buffer
+     *                     traffic into it (see aqfp::HardwareLedger;
+     *                     totals are bit-identical across thread
+     *                     counts, SIMD arms, and batch splits)
      * @return +/-1 outputs, length layer.fanOut
      */
     std::vector<int> forward(const MappedLayer &layer,
                              const std::vector<int> &activations,
-                             Rng &rng) const;
+                             Rng &rng,
+                             aqfp::HardwareLedger *ledger = nullptr) const;
 
     /**
      * Batched forward: programmed tiles are mapped once and reused for
@@ -81,14 +97,17 @@ class TileExecutor
      * colTile) combinations run as one parallel phase. Bit-identical to
      * calling forward() per sample with the same starting @p rng state.
      *
-     * @param layer  the mapped layer
-     * @param batch  +/-1 input vectors, each of length layer.fanIn
-     * @param rng    root-seed source; consumes batch.size() raw draws
+     * @param layer   the mapped layer
+     * @param batch   +/-1 input vectors, each of length layer.fanIn
+     * @param rng     root-seed source; consumes batch.size() raw draws
+     * @param ledger  optional hardware-activity ledger (see the
+     *                single-sample overload)
      * @return one +/-1 output vector (length layer.fanOut) per sample
      */
     std::vector<std::vector<int>>
     forward(const MappedLayer &layer,
-            const std::vector<std::vector<int>> &batch, Rng &rng) const;
+            const std::vector<std::vector<int>> &batch, Rng &rng,
+            aqfp::HardwareLedger *ledger = nullptr) const;
 
     /**
      * Multi-bit readout used for the classifier head: instead of the
@@ -97,15 +116,16 @@ class TileExecutor
      * thresholds). Still fully stochastic — it runs on the same observed
      * bitstreams.
      */
-    std::vector<double> forwardDecoded(const MappedLayer &layer,
-                                       const std::vector<int> &activations,
-                                       Rng &rng) const;
+    std::vector<double>
+    forwardDecoded(const MappedLayer &layer,
+                   const std::vector<int> &activations, Rng &rng,
+                   aqfp::HardwareLedger *ledger = nullptr) const;
 
     /** Batched forwardDecoded (same exactness contract as forward). */
     std::vector<std::vector<double>>
     forwardDecoded(const MappedLayer &layer,
-                   const std::vector<std::vector<int>> &batch,
-                   Rng &rng) const;
+                   const std::vector<std::vector<int>> &batch, Rng &rng,
+                   aqfp::HardwareLedger *ledger = nullptr) const;
 
     /**
      * Latent pre-binarization sums: sum_i a_i * w_ij - vth_j, the ideal
@@ -167,7 +187,23 @@ class TileExecutor
     void
     observeTiles(const MappedLayer &layer,
                  const std::vector<std::vector<int>> &batch, Rng &rng,
-                 std::vector<std::vector<sc::BitstreamBatch>> &observed)
+                 std::vector<std::vector<sc::BitstreamBatch>> &observed,
+                 aqfp::HardwareLedger *ledger) const;
+
+    /**
+     * Phase 2: per-(sample, column group) accumulation merge shared by
+     * forward and forwardDecoded; @p emit consumes each merged column.
+     * Reports merge activity and buffer traffic into @p ledger.
+     */
+    void
+    mergeColumns(const MappedLayer &layer, std::size_t samples,
+                 const std::vector<std::vector<sc::BitstreamBatch>>
+                     &observed,
+                 const sc::AccumulationModule &accum,
+                 aqfp::HardwareLedger *ledger,
+                 const std::function<void(
+                     std::size_t b, std::size_t col,
+                     const std::vector<sc::StreamView> &streams)> &emit)
         const;
 };
 

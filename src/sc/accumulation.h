@@ -101,6 +101,13 @@ class AccumulationModule
     /** Gate inventory: APC + accumulator + comparator, for JJ accounting. */
     aqfp::NetlistSummary netlist() const;
 
+    /**
+     * Bits entering the module over one full accumulation: T streams
+     * of L bits. The tile executor's hardware ledger charges this per
+     * merge (see aqfp::LedgerCounts::apcInputBits).
+     */
+    std::size_t mergeInputBits() const { return crossbars_ * window_; }
+
     std::size_t crossbars() const { return crossbars_; }
     std::size_t window() const { return window_; }
     bool usesExactApc() const { return useExact; }

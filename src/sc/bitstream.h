@@ -65,6 +65,14 @@ struct CounterStream
 {
     std::uint64_t seed = 0;    ///< stream identity (never advanced)
     std::uint64_t counter = 0; ///< next raw-draw index
+
+    /**
+     * Raw draws consumed so far by a stream that started at counter 0
+     * — the draw-accounting hook behind the aqfp::HardwareLedger's
+     * bernoulliDraws column (fills always advance the counter, so the
+     * position doubles as the exact consumption tally).
+     */
+    std::uint64_t consumed() const { return counter; }
 };
 
 /**

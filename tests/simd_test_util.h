@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared helpers for tests that iterate the SIMD dispatch arms.
+ */
+
+#ifndef SUPERBNN_TESTS_SIMD_TEST_UTIL_H
+#define SUPERBNN_TESTS_SIMD_TEST_UTIL_H
+
+#include "simd/kernels.h"
+
+namespace superbnn::test {
+
+/// Restores the dispatch arm active at construction when destroyed,
+/// so a test sweeping arms cannot leak its selection into later tests.
+class ArmRestore
+{
+  public:
+    ArmRestore() : saved(simd::activeArm()) {}
+    ~ArmRestore() { simd::setActiveArm(saved); }
+    ArmRestore(const ArmRestore &) = delete;
+    ArmRestore &operator=(const ArmRestore &) = delete;
+
+  private:
+    simd::Arm saved;
+};
+
+} // namespace superbnn::test
+
+#endif // SUPERBNN_TESTS_SIMD_TEST_UTIL_H

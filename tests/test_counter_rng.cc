@@ -19,6 +19,7 @@
 #include "crossbar/tile_executor.h"
 #include "sc/bitstream.h"
 #include "simd/kernels.h"
+#include "simd_test_util.h"
 #include "tensor/random.h"
 
 namespace {
@@ -28,16 +29,7 @@ using namespace superbnn;
 /// Word-boundary edge lengths shared with the other differential suites.
 const std::size_t kLengths[] = {1, 63, 64, 65, 127, 128, 129, 1000};
 
-/// Restores the dispatch arm active at construction when destroyed.
-class ArmRestore
-{
-  public:
-    ArmRestore() : saved(simd::activeArm()) {}
-    ~ArmRestore() { simd::setActiveArm(saved); }
-
-  private:
-    simd::Arm saved;
-};
+using superbnn::test::ArmRestore;
 
 /**
  * Independent reimplementation of the documented counter scheme (see
@@ -260,6 +252,46 @@ TEST(CounterFill, StatisticalDensityMatchesProbability)
             0.005)
             << "p=" << p;
     }
+}
+
+TEST(CounterFill, DrawAccountingMatchesObservedConsumption)
+{
+    // The hardware ledger's bernoulliDraws column is read back from
+    // the counter streams; the seeded crossbar observe must therefore
+    // report exactly Cs * L draws per sample on every arm — constant
+    // (p = 0/1) columns included, per the position-stability contract
+    // — and CounterStream::consumed() must equal that tally.
+    ArmRestore restore;
+    const aqfp::AttenuationModel atten;
+    const std::size_t cs = 5, window = 77;
+    crossbar::CrossbarArray xbar(cs, atten, 2.4);
+    // Leave the array unprogrammed: every column current is 0 and some
+    // probabilities sit at exact constants depending on thresholds —
+    // the draws must not depend on that.
+    xbar.setColumnThreshold(0, 1e9);  // probOne == 0
+    xbar.setColumnThreshold(1, -1e9); // probOne == 1
+
+    const std::vector<std::vector<int>> batch(
+        3, std::vector<int>(cs, 1));
+    const std::vector<std::uint64_t> seeds = {7, 8, 9};
+    for (const simd::Arm arm : simd::availableArms()) {
+        ASSERT_TRUE(simd::setActiveArm(arm));
+        aqfp::TileCounts counts;
+        xbar.observeBatchSeeded(batch, window, seeds, &counts);
+        EXPECT_EQ(counts.observations, batch.size())
+            << simd::armName(arm);
+        EXPECT_EQ(counts.cycles, batch.size() * window)
+            << simd::armName(arm);
+        EXPECT_EQ(counts.bernoulliDraws, batch.size() * cs * window)
+            << simd::armName(arm);
+    }
+
+    sc::detail::CounterStream stream{42, 0};
+    std::vector<std::uint64_t> words(
+        sc::detail::wordsForLength(window));
+    sc::detail::bernoulliFill(words.data(), window, 0.0, stream);
+    sc::detail::bernoulliFill(words.data(), window, 0.5, stream);
+    EXPECT_EQ(stream.consumed(), 2 * window);
 }
 
 // --- end-to-end determinism ---

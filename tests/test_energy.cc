@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "aqfp/energy.h"
 
 using namespace superbnn::aqfp;
@@ -44,6 +47,89 @@ TEST(WorkloadTest, MlpSmallerThanCnn)
 TEST(WorkloadTest, WeightBitsPositive)
 {
     EXPECT_GT(workloads::resnet18().totalWeightBits(), 1000000u);
+}
+
+TEST(LayerSpecTest, MacsOverflowThrows)
+{
+    const std::size_t big = std::numeric_limits<std::size_t>::max() / 2;
+    LayerSpec l{"huge", big, 4, 1};
+    EXPECT_THROW(l.macs(), std::overflow_error);
+    // Overflow in the positions factor is caught too.
+    LayerSpec p{"huge-positions", 2, 2, big};
+    EXPECT_THROW(p.macs(), std::overflow_error);
+    // The workload-level sums propagate the guard.
+    WorkloadSpec w;
+    w.name = "overflow";
+    w.layers = {l};
+    EXPECT_THROW(w.totalMacs(), std::overflow_error);
+    EXPECT_THROW(w.totalOps(), std::overflow_error);
+    // A large-but-valid layer still evaluates.
+    const LayerSpec ok = LayerSpec::fc("big-ok", 1u << 20, 1u << 20);
+    EXPECT_EQ(ok.macs(), (std::size_t{1} << 40));
+    EXPECT_EQ(ok.ops(), (std::size_t{1} << 41));
+    // macs() alone fits but the 2x ops convention would wrap.
+    LayerSpec edge{"edge", std::numeric_limits<std::size_t>::max() / 2,
+                   1, 2};
+    EXPECT_NO_THROW(edge.macs());
+    EXPECT_THROW(edge.ops(), std::overflow_error);
+}
+
+TEST(WorkloadValidationTest, ZeroGeometryThrows)
+{
+    for (const LayerSpec bad : {LayerSpec{"no-fanin", 0, 8, 1},
+                                LayerSpec{"no-fanout", 8, 0, 1},
+                                LayerSpec{"no-positions", 8, 8, 0}}) {
+        EXPECT_THROW(bad.validate(), std::invalid_argument)
+            << bad.name;
+        WorkloadSpec w;
+        w.name = "bad";
+        w.layers = {LayerSpec::fc("ok", 4, 4), bad};
+        EXPECT_THROW(w.validate(), std::invalid_argument) << bad.name;
+        const EnergyModel model;
+        EXPECT_THROW(model.evaluate(w, {16, 16, 5.0, 2.4}),
+                     std::invalid_argument)
+            << bad.name;
+    }
+    WorkloadSpec empty;
+    empty.name = "empty";
+    EXPECT_THROW(empty.validate(), std::invalid_argument);
+    // The paper workloads all validate.
+    EXPECT_NO_THROW(workloads::vggSmall().validate());
+    EXPECT_NO_THROW(workloads::resnet18().validate());
+    EXPECT_NO_THROW(workloads::mnistMlp().validate());
+}
+
+TEST(WorkloadTest, MaxActivationBitsIsWidestLayer)
+{
+    WorkloadSpec w;
+    w.name = "t";
+    w.layers = {LayerSpec::conv("c", 2, 8, 3, 4, 4), // 8 * 16 = 128
+                LayerSpec::fc("f", 128, 40)};        // 40
+    EXPECT_EQ(w.maxActivationBits(), 128u);
+    w.layers.push_back(
+        {"wide", 1, std::numeric_limits<std::size_t>::max() / 2, 4});
+    EXPECT_THROW(w.maxActivationBits(), std::overflow_error);
+}
+
+TEST(EnergyModelTest, EvaluateLayerSumsToWorkload)
+{
+    const EnergyModel model;
+    const WorkloadSpec w = workloads::mnistMlp();
+    const AcceleratorConfig cfg{16, 16, 5.0, 2.4};
+    const EnergyReport whole = model.evaluate(w, cfg);
+    double energy = 0.0, cycles = 0.0;
+    std::size_t crossbars = 0;
+    for (const auto &l : w.layers) {
+        const EnergyReport lr =
+            model.evaluateLayer(l, cfg, w.maxActivationBits());
+        energy += lr.totalEnergyAj;
+        cycles += lr.cyclesPerImage;
+        crossbars += lr.crossbarCount;
+    }
+    EXPECT_NEAR(energy, whole.totalEnergyAj,
+                whole.totalEnergyAj * 1e-12);
+    EXPECT_DOUBLE_EQ(cycles, whole.cyclesPerImage);
+    EXPECT_EQ(crossbars, whole.crossbarCount);
 }
 
 TEST(EnergyModelTest, EfficiencyInPaperBallpark)

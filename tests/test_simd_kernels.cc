@@ -19,6 +19,7 @@
 #include "sc/bitstream.h"
 #include "sc/bitstream_batch.h"
 #include "simd/kernels.h"
+#include "simd_test_util.h"
 #include "tensor/random.h"
 
 namespace {
@@ -28,17 +29,7 @@ using namespace superbnn;
 /// The PR-1 edge-case lengths: word-boundary straddles plus a long one.
 const std::size_t kLengths[] = {1, 63, 64, 65, 127, 128, 129, 1000};
 
-/// Restores the dispatch arm active at construction when destroyed, so
-/// a failing test cannot leak a forced arm into later tests.
-class ArmRestore
-{
-  public:
-    ArmRestore() : saved(simd::activeArm()) {}
-    ~ArmRestore() { simd::setActiveArm(saved); }
-
-  private:
-    simd::Arm saved;
-};
+using superbnn::test::ArmRestore;
 
 std::uint64_t
 tailMaskFor(std::size_t length)

@@ -607,6 +607,42 @@ TEST(NnForwardBatchTest, SequentialBatchMatchesPerSample)
     EXPECT_TRUE(net.forwardBatch({}, false).empty());
 }
 
+TEST(ThreadedExecutorTest, LedgerTotalsSurviveThreadReconfiguration)
+{
+    // The hardware ledger must report identical totals through every
+    // concurrency path one executor can be switched between —
+    // sequential, a private pool, and the process-wide shared pool.
+    Rng setup(48);
+    const MappedLayer layer = makeLayer(setup);
+    std::vector<std::vector<int>> batch;
+    for (int b = 0; b < 5; ++b)
+        batch.push_back(randomActs(24, setup));
+
+    TileExecutor exec(16, false, 0.25, 1);
+    aqfp::LedgerCounts ref;
+    {
+        aqfp::HardwareLedger ledger;
+        Rng rng(12);
+        exec.forward(layer, batch, rng, &ledger);
+        ref = ledger.totals();
+        EXPECT_EQ(ref.samples, 5u);
+    }
+    exec.setThreads(3);
+    {
+        aqfp::HardwareLedger ledger;
+        Rng rng(12);
+        exec.forward(layer, batch, rng, &ledger);
+        EXPECT_EQ(ledger.totals(), ref);
+    }
+    exec.setThreads(0); // shared ExecutorPool
+    {
+        aqfp::HardwareLedger ledger;
+        Rng rng(12);
+        exec.forward(layer, batch, rng, &ledger);
+        EXPECT_EQ(ledger.totals(), ref);
+    }
+}
+
 TEST(ThreadedExecutorTest, StochasticQualityUnchangedByThreading)
 {
     // The threaded path must still converge to the latent sign — a

@@ -28,26 +28,16 @@ using namespace superbnn;
 
 /**
  * A MappedLayer of the given geometry with unprogrammed (inactive)
- * cells. Ledger activity counts are value-independent — every column
- * of every tile is observed for the full window regardless of the
- * programmed weights — so energy measurement does not need real
- * weights, and building full Table-2 layer geometries stays cheap.
+ * cells — thin alias of crossbar::geometryLayer, which the
+ * programmed-model cache shares (see src/crossbar/mapper.h).
  */
 inline crossbar::MappedLayer
 geometryLayer(std::size_t fan_in, std::size_t fan_out, std::size_t cs,
               const aqfp::AttenuationModel &atten,
               double delta_iin_ua = 2.4)
 {
-    crossbar::MappedLayer layer;
-    layer.fanIn = fan_in;
-    layer.fanOut = fan_out;
-    layer.cs = cs;
-    layer.rowTiles = (fan_in + cs - 1) / cs;
-    layer.colTiles = (fan_out + cs - 1) / cs;
-    layer.tiles.assign(layer.rowTiles * layer.colTiles,
-                       crossbar::CrossbarArray(cs, atten, delta_iin_ua));
-    layer.thresholds.assign(fan_out, 0.0);
-    return layer;
+    return crossbar::geometryLayer(fan_in, fan_out, cs, atten,
+                                   delta_iin_ua);
 }
 
 /**
@@ -67,23 +57,16 @@ measureSinglePosition(const crossbar::TileExecutor &exec,
     return ledger.totals();
 }
 
-/** Pricing context for a single-position replay of @p spec. */
+/**
+ * Pricing context for a single-position replay of @p spec — thin alias
+ * of aqfp::layerReplayContext, which the MeasuredCostProbe shares.
+ */
 inline aqfp::LedgerPricingContext
 replayContext(const aqfp::LayerSpec &spec,
               const aqfp::AcceleratorConfig &config,
               std::size_t max_act_bits)
 {
-    aqfp::LedgerPricingContext ctx;
-    ctx.config = config;
-    ctx.rowTiles = (spec.fanIn + config.crossbarSize - 1)
-        / config.crossbarSize;
-    ctx.colTiles = (spec.fanOut + config.crossbarSize - 1)
-        / config.crossbarSize;
-    ctx.opsPerImage = spec.ops();
-    ctx.countScale = static_cast<double>(spec.positions);
-    ctx.images = 1.0;
-    ctx.maxActBits = max_act_bits;
-    return ctx;
+    return aqfp::layerReplayContext(spec, config, max_act_bits, 1.0);
 }
 
 /**

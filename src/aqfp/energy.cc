@@ -285,7 +285,13 @@ EnergyModel::priceLedger(const LedgerCounts &counts,
     const AcceleratorConfig &config = ctx.config;
     assert(config.crossbarSize >= 1 && config.bitstreamLength >= 1);
     assert(config.frequencyGhz > 0.0);
-    assert(ctx.images > 0.0 && ctx.countScale > 0.0);
+    if (!(ctx.images > 0.0) || !(ctx.countScale > 0.0))
+        throw std::invalid_argument(
+            "EnergyModel::priceLedger: images and countScale must be "
+            "positive (counts cannot be normalized per image "
+            "otherwise); callers with zero observed images should "
+            "emit flagged placeholder reports instead — see "
+            "HardwareEvaluator::energyReports");
 
     const std::size_t cs = config.crossbarSize;
     const std::size_t len = config.bitstreamLength;
@@ -328,6 +334,26 @@ EnergyModel::priceLedger(const LedgerCounts &counts,
     rep.totalJj = rep.crossbarCount * hw.jjCount(cs)
         + sc_jj * cs * ctx.colTiles;
     return rep;
+}
+
+LedgerPricingContext
+layerReplayContext(const LayerSpec &spec, const AcceleratorConfig &config,
+                   std::size_t max_act_bits, double images)
+{
+    spec.validate();
+    assert(config.crossbarSize >= 1);
+    assert(images > 0.0);
+    LedgerPricingContext ctx;
+    ctx.config = config;
+    ctx.rowTiles =
+        (spec.fanIn + config.crossbarSize - 1) / config.crossbarSize;
+    ctx.colTiles =
+        (spec.fanOut + config.crossbarSize - 1) / config.crossbarSize;
+    ctx.opsPerImage = spec.ops();
+    ctx.countScale = static_cast<double>(spec.positions);
+    ctx.images = images;
+    ctx.maxActBits = max_act_bits;
+    return ctx;
 }
 
 namespace {

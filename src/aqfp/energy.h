@@ -210,6 +210,9 @@ class EnergyModel
      * reconciliation contract (exact agreement on the crossbar, memory
      * and latency terms; the SC term counts only real columns where the
      * analytic model charges whole Cs-wide groups).
+     *
+     * @throws std::invalid_argument when ctx.images or ctx.countScale
+     *         is not positive (per-image normalization is undefined)
      */
     EnergyReport priceLedger(const LedgerCounts &counts,
                              const LedgerPricingContext &ctx) const;
@@ -266,6 +269,20 @@ class EnergyModel
   private:
     CrossbarHardwareModel hw;
 };
+
+/**
+ * Pricing context for a ledger replay of @p spec under @p config: the
+ * tiling is derived from the geometry, counts are scaled by
+ * spec.positions (one executed position stands for all of them — ledger
+ * counts are value-independent) and normalized by @p images, the number
+ * of single-position calibration samples the counts cover. This is the
+ * context the energy benches and the MeasuredCostProbe both price
+ * through, so replay arithmetic exists in exactly one place.
+ */
+LedgerPricingContext layerReplayContext(const LayerSpec &spec,
+                                        const AcceleratorConfig &config,
+                                        std::size_t max_act_bits,
+                                        double images = 1.0);
 
 /**
  * Deterministic single-line JSON of a report (fixed key order, %.17g

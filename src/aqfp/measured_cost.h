@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ledger-measured cost probe for design-space exploration.
+ *
+ * The analytic EnergyModel derives activity counts from a layer's
+ * tiling geometry; the aqfp::HardwareLedger observes them from the real
+ * packed executor. MeasuredCostProbe closes the loop for the search:
+ * it replays a small calibration batch (one spatial position, counts
+ * are value-independent) through a TileExecutor per DISTINCT geometry
+ * — cached, not per candidate — and prices the observed counts with
+ * EnergyModel::priceLedger, so cost functions can rank candidates by
+ * what the hardware actually does. The headline consequence: partial
+ * tail column groups merge only their real output columns, so the
+ * measured SC term is analytic * fanOut / (colTiles * Cs) (the PR-5
+ * reconciliation contract) and rankings can legitimately differ from
+ * the analytic model's.
+ *
+ * Two caches cooperate:
+ *  - the crossbar::ProgrammedModelCache shares mapped models across
+ *    everything keyed (fanIn, fanOut, Cs, deltaIin) — window-free;
+ *  - the probe's own counts memo keys (fanIn, fanOut, Cs, L), because
+ *    observed counts scale with the window but not with deltaIin.
+ *
+ * Determinism contract: replayed counts are value-independent and
+ * bit-identical across thread counts, SIMD arms and cache hits vs
+ * misses, so every priced report is bit-identical however (and on
+ * whichever thread) it was produced. Thread-safe: concurrent explorer
+ * tasks may call measureLayer/measureWorkload on one probe.
+ */
+
+#ifndef SUPERBNN_AQFP_MEASURED_COST_H
+#define SUPERBNN_AQFP_MEASURED_COST_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "aqfp/energy.h"
+#include "aqfp/ledger.h"
+#include "crossbar/model_cache.h"
+
+namespace superbnn::aqfp {
+
+/** Replays calibration batches and prices the observed ledger counts. */
+class MeasuredCostProbe
+{
+  public:
+    /** Hit/miss counters of the counts memo. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /**
+     * @param atten  attenuation model the replay layers are built with
+     * @param model  pricing model (Table-1 costs, frequency, cooling)
+     * @param cache  shared mapped-model cache; nullptr allocates a
+     *               private one (must have been built from the same
+     *               attenuation model when shared)
+     */
+    explicit MeasuredCostProbe(
+        AttenuationModel atten, EnergyModel model = EnergyModel(),
+        std::shared_ptr<crossbar::ProgrammedModelCache> cache = nullptr);
+
+    /**
+     * Observed single-position calibration counts for one geometry
+     * under (Cs, L), memoized per distinct key. The replay model is
+     * requested from the cache at its canonical (default) deltaIin —
+     * the gray zone shifts probabilities, never counts — so the model
+     * cache's hit/miss accounting stays scheduling-independent.
+     * Thread-safe.
+     */
+    LedgerCounts countsFor(std::size_t fan_in, std::size_t fan_out,
+                           std::size_t cs, std::size_t window) const;
+
+    /**
+     * Ledger-measured per-layer report: the memoized calibration counts
+     * priced through aqfp::layerReplayContext (counts scaled by
+     * spec.positions). The analytic counterpart is
+     * EnergyModel::evaluateLayer with identical arguments.
+     */
+    EnergyReport measureLayer(const LayerSpec &spec,
+                              const AcceleratorConfig &config,
+                              std::size_t max_act_bits) const;
+
+    /**
+     * Ledger-measured workload report: measureLayer per layer folded
+     * through EnergyModel::combineLayerReports — the measured
+     * counterpart of EnergyModel::evaluate, sharing its buffer sizing
+     * and derived-metric arithmetic.
+     */
+    EnergyReport measureWorkload(const WorkloadSpec &workload,
+                                 const AcceleratorConfig &config) const;
+
+    /** Snapshot of the counts-memo hit/miss counters. Thread-safe. */
+    Stats countsStats() const;
+
+    /** The mapped-model cache replays draw from (never null). */
+    const std::shared_ptr<crossbar::ProgrammedModelCache> &
+    modelCache() const
+    {
+        return cache_;
+    }
+
+    const EnergyModel &energyModel() const { return model_; }
+
+  private:
+    using CountsKey =
+        std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>;
+
+    AttenuationModel atten;
+    EnergyModel model_;
+    std::shared_ptr<crossbar::ProgrammedModelCache> cache_;
+    mutable std::mutex mutex_;
+    mutable std::map<CountsKey, LedgerCounts> counts_;
+    mutable Stats stats_;
+};
+
+} // namespace superbnn::aqfp
+
+#endif // SUPERBNN_AQFP_MEASURED_COST_H

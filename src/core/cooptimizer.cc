@@ -1,53 +1,41 @@
 #include "core/cooptimizer.h"
 
-#include <cassert>
+#include "core/explorer.h"
 
 namespace superbnn::core {
 
 CoOptimizer::CoOptimizer(aqfp::AttenuationModel attenuation,
                          aqfp::EnergyModel energy_model,
                          AmeOptions ame_options)
-    : atten(attenuation), energy(std::move(energy_model)),
-      ameAnalyzer(std::move(attenuation), ame_options)
+    : atten(std::move(attenuation)), energy(std::move(energy_model)),
+      ameOptions(ame_options)
 {
-    (void)atten; // silences unused warning paths in release builds
 }
 
 std::vector<CoOptCandidate>
 CoOptimizer::enumerate(const aqfp::WorkloadSpec &workload,
                        const CoOptSpace &space) const
 {
-    std::vector<CoOptCandidate> out;
-    for (std::size_t cs : space.crossbarSizes) {
-        for (std::size_t len : space.bitstreamLengths) {
-            for (double gz : space.grayZones) {
-                CoOptCandidate cand;
-                cand.config = {cs, len, space.frequencyGhz, gz};
-                cand.energy = energy.evaluate(workload, cand.config);
-                if (cand.energy.topsPerWatt < space.minTopsPerWatt)
-                    continue;
-                if (space.maxTotalJj != 0
-                    && cand.energy.totalJj > space.maxTotalJj)
-                    continue;
-                cand.ame = ameAnalyzer.ame(static_cast<double>(cs), gz);
-                out.push_back(std::move(cand));
-            }
-        }
-    }
-    return out;
+    const DesignSpaceExplorer explorer(atten, energy, ameOptions);
+    return explorer.explore(workload, space);
 }
 
 CoOptCandidate
 CoOptimizer::bestByAme(const aqfp::WorkloadSpec &workload,
                        const CoOptSpace &space) const
 {
-    auto cands = enumerate(workload, space);
-    assert(!cands.empty() && "no feasible hardware configuration");
-    CoOptCandidate best = cands.front();
-    for (const auto &c : cands)
-        if (c.ame < best.ame)
-            best = c;
-    return best;
+    return DesignSpaceExplorer::best(enumerate(workload, space),
+                                     costs::ame());
+}
+
+std::optional<CoOptCandidate>
+CoOptimizer::tryBestByAme(const aqfp::WorkloadSpec &workload,
+                          const CoOptSpace &space) const
+{
+    const auto cands = enumerate(workload, space);
+    if (cands.empty())
+        return std::nullopt;
+    return DesignSpaceExplorer::best(cands, costs::ame());
 }
 
 CoOptCandidate
@@ -55,12 +43,31 @@ CoOptimizer::optimize(const aqfp::WorkloadSpec &workload,
                       const CoOptSpace &space,
                       const AccuracyFn &measure) const
 {
-    auto cands = enumerate(workload, space);
-    assert(!cands.empty() && "no feasible hardware configuration");
-    for (auto &c : cands)
-        c.accuracy = measure(c.config);
+    const auto result = tryOptimize(workload, space, measure);
+    if (!result)
+        throw NoFeasibleCandidateError(
+            "CoOptimizer::optimize: the feasible set is empty — every "
+            "candidate was excluded by the CoOptSpace constraints "
+            "(minTopsPerWatt / maxTotalJj)");
+    return *result;
+}
+
+std::optional<CoOptCandidate>
+CoOptimizer::tryOptimize(const aqfp::WorkloadSpec &workload,
+                         const CoOptSpace &space,
+                         const AccuracyFn &measure) const
+{
+    const DesignSpaceExplorer explorer(atten, energy, ameOptions);
+    ExploreOptions options;
+    options.accuracy = measure;
+    const auto cands = explorer.explore(workload, space, options);
+    if (cands.empty())
+        return std::nullopt;
+    // Maximal accuracy, ties broken by higher energy efficiency — the
+    // historical comparator, preserved exactly (a strictly-better
+    // candidate replaces the incumbent, so the first optimum wins).
     CoOptCandidate best = cands.front();
-    for (const auto &c : cands) {
+    for (const CoOptCandidate &c : cands) {
         if (*c.accuracy > *best.accuracy
             || (*c.accuracy == *best.accuracy
                 && c.energy.topsPerWatt > best.energy.topsPerWatt)) {

@@ -1,0 +1,289 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/executor_pool.h"
+#include "util/thread_pool.h"
+
+namespace superbnn::core {
+
+namespace costs {
+
+CostFn
+analyticEnergy()
+{
+    return [](const CoOptCandidate &c) { return c.energy.totalEnergyAj; };
+}
+
+CostFn
+measuredEnergy()
+{
+    return [](const CoOptCandidate &c) {
+        if (!c.measured)
+            throw std::logic_error(
+                "costs::measuredEnergy: candidate has no measured "
+                "report — explore with ExploreOptions::measure");
+        return c.measured->totalEnergyAj;
+    };
+}
+
+CostFn
+analyticLatency()
+{
+    return [](const CoOptCandidate &c) { return c.energy.latencyUs; };
+}
+
+CostFn
+ame()
+{
+    return [](const CoOptCandidate &c) { return c.ame; };
+}
+
+CostFn
+accuracyLoss()
+{
+    return [](const CoOptCandidate &c) {
+        if (!c.accuracy)
+            throw std::logic_error(
+                "costs::accuracyLoss: candidate has no accuracy — "
+                "explore with an ExploreOptions::accuracy callback");
+        return 1.0 - *c.accuracy;
+    };
+}
+
+CostFn
+weighted(std::vector<std::pair<CostFn, double>> terms)
+{
+    if (terms.empty())
+        throw std::invalid_argument(
+            "costs::weighted: at least one cost term is required");
+    return [terms = std::move(terms)](const CoOptCandidate &c) {
+        double total = 0.0;
+        for (const auto &[fn, weight] : terms)
+            total += weight * fn(c);
+        return total;
+    };
+}
+
+} // namespace costs
+
+namespace {
+
+template <typename T>
+void
+requireUnique(const std::vector<T> &values, const char *field)
+{
+    std::vector<T> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        throw std::invalid_argument(
+            "CoOptSpace: duplicate values in " + std::string(field)
+            + " (each axis point is evaluated once; a duplicate is "
+              "almost certainly a typo)");
+}
+
+} // namespace
+
+void
+CoOptSpace::validate() const
+{
+    if (crossbarSizes.empty())
+        throw std::invalid_argument(
+            "CoOptSpace: crossbarSizes is empty (no candidates)");
+    if (grayZones.empty())
+        throw std::invalid_argument(
+            "CoOptSpace: grayZones is empty (no candidates)");
+    if (bitstreamLengths.empty())
+        throw std::invalid_argument(
+            "CoOptSpace: bitstreamLengths is empty (no candidates)");
+    for (std::size_t cs : crossbarSizes)
+        if (cs == 0)
+            throw std::invalid_argument(
+                "CoOptSpace: crossbarSizes contains 0 (a zero-size "
+                "crossbar maps no layer)");
+    for (std::size_t len : bitstreamLengths)
+        if (len == 0)
+            throw std::invalid_argument(
+                "CoOptSpace: bitstreamLengths contains 0 (the SC "
+                "window must span at least one cycle)");
+    for (double gz : grayZones)
+        if (!(gz > 0.0) || !std::isfinite(gz))
+            throw std::invalid_argument(
+                "CoOptSpace: grayZones must be positive and finite "
+                "(got "
+                + std::to_string(gz) + ")");
+    if (!(frequencyGhz > 0.0) || !std::isfinite(frequencyGhz))
+        throw std::invalid_argument(
+            "CoOptSpace: frequencyGhz must be positive and finite "
+            "(got "
+            + std::to_string(frequencyGhz) + ")");
+    if (!(minTopsPerWatt >= 0.0))
+        throw std::invalid_argument(
+            "CoOptSpace: minTopsPerWatt must be non-negative (got "
+            + std::to_string(minTopsPerWatt) + ")");
+    requireUnique(crossbarSizes, "crossbarSizes");
+    requireUnique(bitstreamLengths, "bitstreamLengths");
+    requireUnique(grayZones, "grayZones");
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(
+    aqfp::AttenuationModel atten_model, aqfp::EnergyModel energy_model,
+    AmeOptions ame_options,
+    std::shared_ptr<crossbar::ProgrammedModelCache> cache)
+    : atten(atten_model), energy(energy_model),
+      ameAnalyzer(atten_model, ame_options),
+      probe_(atten_model, energy_model, std::move(cache))
+{
+}
+
+std::vector<aqfp::AcceleratorConfig>
+DesignSpaceExplorer::gridConfigs(const CoOptSpace &space)
+{
+    space.validate();
+    std::vector<aqfp::AcceleratorConfig> grid;
+    grid.reserve(space.crossbarSizes.size()
+                 * space.bitstreamLengths.size()
+                 * space.grayZones.size());
+    for (std::size_t cs : space.crossbarSizes)
+        for (std::size_t len : space.bitstreamLengths)
+            for (double gz : space.grayZones)
+                grid.push_back({cs, len, space.frequencyGhz, gz});
+    return grid;
+}
+
+std::vector<CoOptCandidate>
+DesignSpaceExplorer::explore(const aqfp::WorkloadSpec &workload,
+                             const CoOptSpace &space,
+                             const ExploreOptions &options) const
+{
+    workload.validate();
+
+    // Stages 1 + 2: grid, then the cheap analytic feasibility filter —
+    // no simulation or integration runs for infeasible points.
+    std::vector<CoOptCandidate> feasible;
+    for (const aqfp::AcceleratorConfig &config : gridConfigs(space)) {
+        CoOptCandidate cand;
+        cand.config = config;
+        cand.energy = energy.evaluate(workload, config);
+        if (cand.energy.topsPerWatt < space.minTopsPerWatt)
+            continue;
+        if (space.maxTotalJj != 0
+            && cand.energy.totalJj > space.maxTotalJj)
+            continue;
+        feasible.push_back(std::move(cand));
+    }
+
+    // Stage 3: per-candidate evaluation, fanned out on the executor
+    // pool. Each task writes only its own pre-sized slot; the probe's
+    // caches are internally synchronized and their values are
+    // deterministic, so results are bit-identical across thread counts
+    // and cache hits vs misses.
+    const auto evaluate = [&](std::size_t i) {
+        CoOptCandidate &cand = feasible[i];
+        cand.ame = ameAnalyzer.ame(
+            static_cast<double>(cand.config.crossbarSize),
+            cand.config.deltaIinUa);
+        if (options.measure)
+            cand.measured = probe_.measureWorkload(workload, cand.config);
+    };
+    if (options.threads == 1) {
+        for (std::size_t i = 0; i < feasible.size(); ++i)
+            evaluate(i);
+    } else {
+        const std::shared_ptr<util::ThreadPool> pool =
+            options.threads == 0
+                ? util::ExecutorPool::shared()
+                : std::make_shared<util::ThreadPool>(options.threads);
+        pool->parallelFor(feasible.size(), evaluate);
+    }
+
+    // Accuracy callbacks are user code of unknown thread safety: run
+    // them sequentially, in candidate order (also the documented
+    // invocation-order contract of CoOptimizer::optimize).
+    if (options.accuracy)
+        for (CoOptCandidate &cand : feasible)
+            cand.accuracy = options.accuracy(cand.config);
+
+    return feasible;
+}
+
+std::vector<CoOptCandidate>
+DesignSpaceExplorer::ranked(std::vector<CoOptCandidate> candidates,
+                            const CostFn &cost)
+{
+    for (CoOptCandidate &c : candidates)
+        c.cost = cost(c);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const CoOptCandidate &a, const CoOptCandidate &b) {
+                         return a.cost < b.cost;
+                     });
+    return candidates;
+}
+
+CoOptCandidate
+DesignSpaceExplorer::best(const std::vector<CoOptCandidate> &candidates,
+                          const CostFn &cost)
+{
+    if (candidates.empty())
+        throw NoFeasibleCandidateError(
+            "DesignSpaceExplorer::best: the feasible set is empty — "
+            "every candidate was excluded by the CoOptSpace "
+            "constraints (minTopsPerWatt / maxTotalJj)");
+    const CoOptCandidate *best_cand = &candidates.front();
+    double best_cost = cost(*best_cand);
+    for (const CoOptCandidate &c : candidates) {
+        const double value = cost(c);
+        if (value < best_cost) {
+            best_cand = &c;
+            best_cost = value;
+        }
+    }
+    CoOptCandidate out = *best_cand;
+    out.cost = best_cost;
+    return out;
+}
+
+std::vector<CoOptCandidate>
+DesignSpaceExplorer::paretoFront(
+    const std::vector<CoOptCandidate> &candidates, const CostFn &cost_a,
+    const CostFn &cost_b)
+{
+    struct Scored
+    {
+        const CoOptCandidate *cand;
+        double a;
+        double b;
+        std::size_t order;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        scored.push_back({&candidates[i], cost_a(candidates[i]),
+                          cost_b(candidates[i]), i});
+
+    std::vector<CoOptCandidate> front;
+    for (const Scored &s : scored) {
+        const bool dominated = std::any_of(
+            scored.begin(), scored.end(), [&](const Scored &o) {
+                return o.cand != s.cand && o.a <= s.a && o.b <= s.b
+                    && (o.a < s.a || o.b < s.b);
+            });
+        if (!dominated)
+            front.push_back(*s.cand);
+    }
+    // Deterministic presentation: ascending cost_a, ties by cost_b,
+    // then grid order (stable_sort preserves it).
+    std::stable_sort(front.begin(), front.end(),
+                     [&](const CoOptCandidate &x, const CoOptCandidate &y) {
+                         const double xa = cost_a(x), ya = cost_a(y);
+                         if (xa != ya)
+                             return xa < ya;
+                         return cost_b(x) < cost_b(y);
+                     });
+    return front;
+}
+
+} // namespace superbnn::core

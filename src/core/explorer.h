@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Ledger-driven, cache-backed design-space explorer.
+ *
+ * The paper's Section 5.4 co-optimization ranks (Cs, deltaIin, L) by
+ * analytic energy + AME alone; since the hardware ledger (PR 5) the
+ * simulator measures what each configuration actually costs — including
+ * the partial-tail-column-group SC savings the analytic model
+ * systematically overprices. DesignSpaceExplorer closes that loop in
+ * the style of cost-function-driven AQFP tech mapping:
+ *
+ *  1. enumerate the CoOptSpace grid (validated, deterministic order);
+ *  2. filter by the analytic feasibility constraints (cheap, no
+ *     simulation) — feasibility is a separate stage, never entangled
+ *     with ranking;
+ *  3. evaluate the feasible candidates — AME and (optionally) the
+ *     ledger-measured energy report — fanned out on the shared
+ *     util::ExecutorPool, with mapped models and calibration counts
+ *     reused across candidates through the ProgrammedModelCache /
+ *     MeasuredCostProbe instead of re-derived per point;
+ *  4. rank under a pluggable CostFn (analytic energy, measured energy,
+ *     AME, accuracy loss, weighted combinations) and/or extract the
+ *     Pareto front of two competing costs.
+ *
+ * Determinism contract: explore() results are bit-identical across
+ * thread counts and cache on/off — every candidate is written to its
+ * own pre-sized slot, AME integration and ledger replay are
+ * value-deterministic, and the accuracy callback (user code of unknown
+ * thread safety) runs sequentially in candidate order. Rankings are
+ * stable sorts over that fixed order, so ties resolve identically
+ * everywhere.
+ */
+
+#ifndef SUPERBNN_CORE_EXPLORER_H
+#define SUPERBNN_CORE_EXPLORER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "aqfp/measured_cost.h"
+#include "core/cooptimizer.h"
+#include "crossbar/model_cache.h"
+
+namespace superbnn::core {
+
+/**
+ * Cost of one evaluated candidate; LOWER IS BETTER. Cost functions
+ * compose freely (see costs::weighted) — the lattice the explorer
+ * ranks under.
+ */
+using CostFn = std::function<double(const CoOptCandidate &)>;
+
+namespace costs {
+
+/** Analytic energy per image (aJ) — the paper's Section 5.4 proxy. */
+CostFn analyticEnergy();
+
+/**
+ * Ledger-measured energy per image (aJ). Requires candidates evaluated
+ * with ExploreOptions::measure; throws std::logic_error on a candidate
+ * without a measured report (a silent fallback to the analytic value
+ * would defeat the point of measuring).
+ */
+CostFn measuredEnergy();
+
+/** Analytic latency per image (us). */
+CostFn analyticLatency();
+
+/** Average mismatch error (Eq. 18). */
+CostFn ame();
+
+/**
+ * 1 - measured accuracy. Requires candidates evaluated with an
+ * ExploreOptions::accuracy callback; throws std::logic_error otherwise.
+ */
+CostFn accuracyLoss();
+
+/**
+ * Weighted sum of cost terms: sum_i weight_i * term_i(candidate).
+ * Weights may be negative (turning a cost into a reward). Throws
+ * std::invalid_argument when no terms are given.
+ */
+CostFn weighted(std::vector<std::pair<CostFn, double>> terms);
+
+} // namespace costs
+
+/** Evaluation knobs for one explore() call. */
+struct ExploreOptions
+{
+    /// Measure every feasible candidate with the MeasuredCostProbe
+    /// (fills CoOptCandidate::measured). Calibration replays are cached
+    /// per distinct (geometry, Cs, L) — candidates differing only in
+    /// deltaIin or frequency are priced from the same counts.
+    bool measure = false;
+    /// Optional accuracy callback, invoked once per feasible candidate,
+    /// sequentially in enumeration order (user callbacks need not be
+    /// thread-safe). Fills CoOptCandidate::accuracy.
+    AccuracyFn accuracy;
+    /// Concurrency of the evaluation fan-out: 0 (default) shares the
+    /// process-wide util::ExecutorPool, 1 = sequential, N > 1 = a
+    /// private N-thread pool. Results are bit-identical regardless.
+    std::size_t threads = 0;
+};
+
+/** Cost-function-driven explorer over a CoOptSpace. */
+class DesignSpaceExplorer
+{
+  public:
+    /**
+     * @param atten        attenuation model (AME + replay layers)
+     * @param energy_model analytic pricing model
+     * @param ame_options  AME integration knobs
+     * @param cache        shared mapped-model cache; nullptr allocates
+     *                     a private one
+     */
+    explicit DesignSpaceExplorer(
+        aqfp::AttenuationModel atten,
+        aqfp::EnergyModel energy_model = aqfp::EnergyModel(),
+        AmeOptions ame_options = {},
+        std::shared_ptr<crossbar::ProgrammedModelCache> cache = nullptr);
+
+    /**
+     * Stage 1: the full candidate grid of @p space in deterministic
+     * order (crossbarSizes outer, then bitstreamLengths, then
+     * grayZones — the facade's historical order). Validates the space.
+     */
+    static std::vector<aqfp::AcceleratorConfig>
+    gridConfigs(const CoOptSpace &space);
+
+    /**
+     * Stages 1-3: enumerate, feasibility-filter, evaluate. Feasible
+     * candidates come back in grid order with analytic energy and AME
+     * filled, plus measured reports / accuracy when the options ask
+     * for them. An empty result means the constraints excluded
+     * everything (not an error at this stage).
+     */
+    std::vector<CoOptCandidate>
+    explore(const aqfp::WorkloadSpec &workload, const CoOptSpace &space,
+            const ExploreOptions &options = {}) const;
+
+    /**
+     * Stage 4: candidates stably sorted by ascending cost (ties keep
+     * grid order), each candidate's CoOptCandidate::cost filled.
+     */
+    static std::vector<CoOptCandidate>
+    ranked(std::vector<CoOptCandidate> candidates, const CostFn &cost);
+
+    /**
+     * The minimal-cost candidate (first in grid order among ties).
+     * @throws NoFeasibleCandidateError when @p candidates is empty
+     */
+    static CoOptCandidate best(const std::vector<CoOptCandidate> &candidates,
+                               const CostFn &cost);
+
+    /**
+     * Pareto front of two competing costs (both minimized): candidates
+     * no other candidate weakly dominates (<= on both, < on at least
+     * one). Returned sorted by ascending @p cost_a, ties by @p cost_b,
+     * then grid order — deterministic. Typical axes: energy vs AME, or
+     * measured energy vs accuracy loss.
+     */
+    static std::vector<CoOptCandidate>
+    paretoFront(const std::vector<CoOptCandidate> &candidates,
+                const CostFn &cost_a, const CostFn &cost_b);
+
+    /** The measured-cost probe (shared calibration/count caches). */
+    const aqfp::MeasuredCostProbe &probe() const { return probe_; }
+
+    /** The mapped-model cache (never null; feeds bench cache columns). */
+    const std::shared_ptr<crossbar::ProgrammedModelCache> &
+    modelCache() const
+    {
+        return probe_.modelCache();
+    }
+
+  private:
+    aqfp::AttenuationModel atten;
+    aqfp::EnergyModel energy;
+    AmeAnalyzer ameAnalyzer;
+    aqfp::MeasuredCostProbe probe_;
+};
+
+} // namespace superbnn::core
+
+#endif // SUPERBNN_CORE_EXPLORER_H

@@ -112,11 +112,10 @@ HardwareEvaluator::energyReports(double frequency_ghz) const
     if (kind == Kind::None)
         throw std::logic_error(
             "HardwareEvaluator::energyReports: map a model first");
+    // With no images observed there is nothing to normalize per image:
+    // emit flagged placeholder measurements instead of dividing the
+    // (all-zero) counts by zero.
     const std::uint64_t images = imagesObserved();
-    if (images == 0)
-        throw std::logic_error(
-            "HardwareEvaluator::energyReports: no samples evaluated "
-            "since mapping / resetLedgers()");
 
     const aqfp::EnergyModel model;
     const aqfp::AcceleratorConfig acfg{cfg.crossbarSize, cfg.window,
@@ -139,20 +138,23 @@ HardwareEvaluator::energyReports(double frequency_ghz) const
         LayerEnergyReport rep;
         rep.name = spec.name;
         rep.counts = ledgers[i].totals();
-
-        aqfp::LedgerPricingContext ctx;
-        ctx.config = acfg;
-        ctx.rowTiles = layer.rowTiles;
-        ctx.colTiles = layer.colTiles;
-        ctx.opsPerImage = spec.ops();
-        // The executor really ran every spatial position (conv layers
-        // are driven patch-wise), so the counts need no replay scaling
-        // — only normalization to one image.
-        ctx.images = static_cast<double>(images);
-        ctx.maxActBits = max_act_bits;
-        rep.measured = model.priceLedger(rep.counts, ctx);
         rep.analytic = model.evaluateLayer(spec, acfg, max_act_bits);
-        rep.delta = aqfp::reconcile(rep.measured, rep.analytic);
+
+        if (images > 0) {
+            aqfp::LedgerPricingContext ctx;
+            ctx.config = acfg;
+            ctx.rowTiles = layer.rowTiles;
+            ctx.colTiles = layer.colTiles;
+            ctx.opsPerImage = spec.ops();
+            // The executor really ran every spatial position (conv
+            // layers are driven patch-wise), so the counts need no
+            // replay scaling — only normalization to one image.
+            ctx.images = static_cast<double>(images);
+            ctx.maxActBits = max_act_bits;
+            rep.measured = model.priceLedger(rep.counts, ctx);
+            rep.delta = aqfp::reconcile(rep.measured, rep.analytic);
+            rep.measuredValid = true;
+        }
         reports.push_back(std::move(rep));
     }
     return reports;

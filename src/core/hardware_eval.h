@@ -59,6 +59,11 @@ struct LayerEnergyReport
     aqfp::EnergyReport measured; ///< ledger-priced, per image
     aqfp::EnergyReport analytic; ///< analytic model, same geometry
     aqfp::EnergyDelta delta;     ///< reconcile(measured, analytic)
+    /// False when imagesObserved() was 0: there was nothing to
+    /// normalize per image, so `measured` and `delta` are zeroed
+    /// placeholders (NOT a measurement of zero energy) while `counts`
+    /// and `analytic` are still real.
+    bool measuredValid = false;
 };
 
 /**
@@ -138,9 +143,15 @@ class HardwareEvaluator
      * layer's geometry and the reconciliation delta. The mapped layers
      * come first (in network order), the classifier head last.
      *
+     * When no samples have been evaluated since mapping / the last
+     * resetLedgers(), there is nothing to normalize per image: the
+     * reports come back with real counts (all zero) and analytic
+     * predictions but zeroed measured/delta components and
+     * LayerEnergyReport::measuredValid == false, instead of dividing
+     * by an image count of zero.
+     *
      * @param frequency_ghz  AQFP clock rate the counts are priced at
-     * @throws std::logic_error when no model is mapped or no samples
-     *         have been evaluated yet (there is nothing to price)
+     * @throws std::logic_error when no model is mapped
      */
     std::vector<LayerEnergyReport>
     energyReports(double frequency_ghz = 5.0) const;

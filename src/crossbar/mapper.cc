@@ -78,4 +78,21 @@ CrossbarMapper::setThresholds(MappedLayer &layer,
     }
 }
 
+MappedLayer
+geometryLayer(std::size_t fan_in, std::size_t fan_out, std::size_t cs,
+              const aqfp::AttenuationModel &atten, double delta_iin_ua)
+{
+    assert(fan_in >= 1 && fan_out >= 1 && cs >= 1);
+    MappedLayer layer;
+    layer.fanIn = fan_in;
+    layer.fanOut = fan_out;
+    layer.cs = cs;
+    layer.rowTiles = (fan_in + cs - 1) / cs;
+    layer.colTiles = (fan_out + cs - 1) / cs;
+    layer.tiles.assign(layer.rowTiles * layer.colTiles,
+                       CrossbarArray(cs, atten, delta_iin_ua));
+    layer.thresholds.assign(fan_out, 0.0);
+    return layer;
+}
+
 } // namespace superbnn::crossbar

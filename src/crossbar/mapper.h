@@ -80,6 +80,20 @@ class CrossbarMapper
     double deltaIin;
 };
 
+/**
+ * A MappedLayer of the given geometry with unprogrammed (inactive)
+ * cells. Ledger activity counts are value-independent — every column
+ * of every tile is observed for the full window regardless of the
+ * programmed weights — so energy measurement does not need real
+ * weights, and building full Table-2 layer geometries stays cheap.
+ * This is the layer shape the programmed-model cache and the
+ * MeasuredCostProbe replay (see src/crossbar/model_cache.h).
+ */
+MappedLayer geometryLayer(std::size_t fan_in, std::size_t fan_out,
+                          std::size_t cs,
+                          const aqfp::AttenuationModel &atten,
+                          double delta_iin_ua = 2.4);
+
 } // namespace superbnn::crossbar
 
 #endif // SUPERBNN_CROSSBAR_MAPPER_H

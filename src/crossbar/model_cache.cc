@@ -1,0 +1,68 @@
+#include "crossbar/model_cache.h"
+
+#include <cstring>
+
+namespace superbnn::crossbar {
+
+namespace {
+
+std::uint64_t
+bitPattern(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+ProgrammedModelCache::ProgrammedModelCache(aqfp::AttenuationModel atten_model)
+    : atten(std::move(atten_model))
+{
+}
+
+std::shared_ptr<const MappedLayer>
+ProgrammedModelCache::geometry(std::size_t fan_in, std::size_t fan_out,
+                               std::size_t cs, double delta_iin_ua)
+{
+    const Key key{fan_in, fan_out, cs, bitPattern(delta_iin_ua)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    // Built under the lock: a second requester of the same geometry
+    // waits instead of mapping a duplicate, so the miss count equals
+    // the number of models ever built.
+    auto layer = std::make_shared<const MappedLayer>(
+        geometryLayer(fan_in, fan_out, cs, atten, delta_iin_ua));
+    entries.emplace(key, layer);
+    return layer;
+}
+
+ProgrammedModelCache::Stats
+ProgrammedModelCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+ProgrammedModelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries.size();
+}
+
+void
+ProgrammedModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.clear();
+    stats_ = Stats{};
+}
+
+} // namespace superbnn::crossbar

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared cache of mapped crossbar models for design-space exploration.
+ *
+ * The explorer evaluates many accelerator candidates against the same
+ * workload, and candidates sharing a tile geometry (fanIn, fanOut, Cs,
+ * deltaIin) would otherwise re-map identical MappedLayers per point.
+ * ProgrammedModelCache builds each geometry once and hands out
+ * shared_ptr<const MappedLayer> — programmed tile state is shared
+ * READ-ONLY across callers (TileExecutor never mutates the layer it
+ * executes), so concurrent explorer tasks can replay one cached model
+ * simultaneously. Hit/miss counters feed the autotune bench's cache
+ * columns.
+ *
+ * Key contract: entries are keyed by (fanIn, fanOut, cs, deltaIinUa).
+ * The SC window L is deliberately NOT part of the key — a MappedLayer
+ * is window-independent (the executor owns L), which is exactly why
+ * candidates differing only in L hit the same model. One cache serves
+ * one attenuation model; callers mixing attenuation models must use
+ * one cache per model (the explorer owns a cache built from its own).
+ *
+ * Determinism contract: a cached layer is bit-identical to a freshly
+ * mapped one (geometryLayer is deterministic), so any computation is
+ * bit-identical with the cache on or off, at any thread count.
+ */
+
+#ifndef SUPERBNN_CROSSBAR_MODEL_CACHE_H
+#define SUPERBNN_CROSSBAR_MODEL_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "crossbar/mapper.h"
+
+namespace superbnn::crossbar {
+
+/** Cache of geometry-mapped crossbar models, shared read-only. */
+class ProgrammedModelCache
+{
+  public:
+    /** Lifetime hit/miss counters (monotonic until clear()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    explicit ProgrammedModelCache(aqfp::AttenuationModel atten);
+
+    /**
+     * The mapped model for one geometry, built on first request via
+     * crossbar::geometryLayer and shared by every later call with the
+     * same key. Thread-safe; the returned layer must be treated as
+     * immutable (it may be executing on another thread).
+     */
+    std::shared_ptr<const MappedLayer>
+    geometry(std::size_t fan_in, std::size_t fan_out, std::size_t cs,
+             double delta_iin_ua = 2.4);
+
+    /** Snapshot of the hit/miss counters. Thread-safe. */
+    Stats stats() const;
+
+    /** Distinct geometries currently cached. Thread-safe. */
+    std::size_t size() const;
+
+    /** Drop every entry and zero the counters (holders keep theirs). */
+    void clear();
+
+    const aqfp::AttenuationModel &attenuation() const { return atten; }
+
+  private:
+    /// deltaIin participates bit-pattern-exact (no epsilon matching:
+    /// explorers enumerate exact grid values, never perturbed ones).
+    using Key = std::tuple<std::size_t, std::size_t, std::size_t,
+                           std::uint64_t>;
+
+    aqfp::AttenuationModel atten;
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const MappedLayer>> entries;
+    Stats stats_;
+};
+
+} // namespace superbnn::crossbar
+
+#endif // SUPERBNN_CROSSBAR_MODEL_CACHE_H

@@ -388,9 +388,21 @@ TEST(EvaluatorEnergyTest, PerLayerReportsReconcile)
     HardwareEvaluator eval(atten, cfg);
     eval.mapMlp(model);
 
-    // Nothing evaluated yet: nothing to price.
-    EXPECT_THROW(eval.energyReports(), std::logic_error);
+    // Nothing evaluated yet: flagged placeholder reports, not a
+    // division of the all-zero counts by zero images.
     EXPECT_EQ(eval.imagesObserved(), 0u);
+    {
+        const auto empty = eval.energyReports();
+        ASSERT_EQ(empty.size(), 2u);
+        for (const auto &rep : empty) {
+            EXPECT_FALSE(rep.measuredValid);
+            EXPECT_EQ(rep.counts.samples, 0u);
+            EXPECT_DOUBLE_EQ(rep.measured.totalEnergyAj, 0.0);
+            EXPECT_DOUBLE_EQ(rep.measured.latencyUs, 0.0);
+            EXPECT_DOUBLE_EQ(rep.delta.totalEnergyRel, 0.0);
+            EXPECT_GT(rep.analytic.totalEnergyAj, 0.0);
+        }
+    }
 
     Rng eval_rng(5);
     std::vector<Tensor> samples;
@@ -425,9 +437,16 @@ TEST(EvaluatorEnergyTest, PerLayerReportsReconcile)
     EXPECT_DOUBLE_EQ(again[0].measured.totalEnergyAj,
                      first.totalEnergyAj);
 
+    // Reset: back to the flagged zero-image regime (regression test
+    // for the imagesObserved() == 0 normalization guard).
     eval.resetLedgers();
     EXPECT_EQ(eval.imagesObserved(), 0u);
-    EXPECT_THROW(eval.energyReports(), std::logic_error);
+    const auto after_reset = eval.energyReports();
+    ASSERT_EQ(after_reset.size(), 2u);
+    EXPECT_FALSE(after_reset[0].measuredValid);
+    EXPECT_DOUBLE_EQ(after_reset[0].measured.totalEnergyAj, 0.0);
+    EXPECT_DOUBLE_EQ(after_reset[0].analytic.totalEnergyAj,
+                     reports[0].analytic.totalEnergyAj);
 }
 
 TEST(EvaluatorEnergyTest, CnnReportsCoverPositions)

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Monte-Carlo yield/accuracy surface as a CI JSON artifact (the
+ * reliability companion of energy_table_json): a tiny trained MLP
+ * swept over stuck-cell x gray-zone-temperature corners, 12 chip
+ * instances per corner, reduced to per-corner accuracy statistics and
+ * yield-at-floor curves with Wilson intervals.
+ *
+ * Prints the JSON to stdout. CI captures it as yield-surface.json and
+ * diffs it byte-exactly across SUPERBNN_THREADS and SIMD arms, and
+ * tests/test_scenario_sweep.cc pins it against
+ * tests/golden/yield_surface.json.
+ */
+
+#include <cstdio>
+
+#include "yield_surface_util.h"
+
+int
+main()
+{
+    const std::string json = yield_surface_util::yieldSurfaceJson();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return 0;
+}

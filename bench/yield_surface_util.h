@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared demo sweep for the yield-surface bench and its golden-file
+ * regression test: a tiny trained MLP swept over a fixed
+ * reliability-corner grid, reduced to the accuracy-vs-yield JSON.
+ * bench/yield_surface.cc and tests/test_scenario_sweep.cc both emit
+ * their JSON through this header, so the bytes CI diffs across thread
+ * counts and SIMD arms are produced by exactly one code path.
+ *
+ * Nothing timing- or environment-dependent goes into the result: the
+ * training run, the corner grid, every chip's fault masks and
+ * evaluation noise are all seeded, so the bytes must be identical for
+ * every SUPERBNN_THREADS value and every SUPERBNN_SIMD arm.
+ */
+
+#ifndef SUPERBNN_BENCH_YIELD_SURFACE_UTIL_H
+#define SUPERBNN_BENCH_YIELD_SURFACE_UTIL_H
+
+#include <memory>
+#include <string>
+
+#include "aqfp/attenuation.h"
+#include "core/hardware_eval.h"
+#include "core/scenario_sweep.h"
+#include "core/trainer.h"
+#include "crossbar/model_cache.h"
+#include "data/synthetic_mnist.h"
+#include "tensor/random.h"
+
+namespace yield_surface_util {
+
+using namespace superbnn;
+
+/** The fixed demo model + dataset the sweep runs on. */
+struct DemoWorkload
+{
+    data::SyntheticMnist dataset;
+    std::unique_ptr<core::RandomizedMlp> mlp;
+};
+
+/** Train the tiny demo MLP deterministically (seeded end to end). */
+inline DemoWorkload
+trainDemoWorkload()
+{
+    const aqfp::AttenuationModel atten;
+    data::SyntheticMnistOptions dopts;
+    dopts.trainSize = 800;
+    dopts.testSize = 200;
+
+    DemoWorkload work;
+    work.dataset = data::makeSyntheticMnist(dopts);
+
+    Rng rng(31);
+    work.mlp = std::make_unique<core::RandomizedMlp>(
+        784, std::vector<std::size_t>{64}, 10,
+        core::AqfpBehavior{16, 2.4, 0.0}, atten, rng);
+    core::TrainConfig tcfg;
+    tcfg.epochs = 30;
+    tcfg.warmupEpochs = 3;
+    const core::Trainer trainer(tcfg);
+    (void)trainer.train(*work.mlp, work.dataset.train,
+                        work.dataset.test, rng);
+    return work;
+}
+
+/**
+ * The demo workload trained once per process (the training is
+ * deterministic, so sharing it cannot change any sweep's bytes; it
+ * just keeps test binaries from re-paying the training cost per case).
+ */
+inline const DemoWorkload &
+demoWorkload()
+{
+    static const DemoWorkload work = trainDemoWorkload();
+    return work;
+}
+
+/** The fixed demo corner grid. */
+inline core::ScenarioGrid
+demoGrid()
+{
+    core::ScenarioGrid grid;
+    grid.stuckFractions = {0.0, 0.05, 0.25};
+    grid.grayZoneScales = {1.0, 2.0};
+    return grid;
+}
+
+/** The fixed demo sweep options. */
+inline core::SweepOptions
+demoOptions()
+{
+    core::SweepOptions opts;
+    opts.masterSeed = 0xC0FFEEULL;
+    opts.chipsPerCorner = 12;
+    opts.evalSamples = 24;
+    opts.accuracyFloors = {0.3, 0.5, 0.7, 0.9};
+    opts.histogramBins = 10;
+    opts.grayZoneSigma = 0.05;
+    opts.modelTag = "demo-mlp";
+    return opts;
+}
+
+/**
+ * The full demo surface: 6 corners x 12 chips on a 784-16-10 MLP at
+ * Cs = 16, window 8. @p threads follows the usual convention
+ * (0 = shared pool, 1 = sequential, N = private pool).
+ */
+inline core::SweepResult
+runDemoSweep(
+    std::size_t threads = 0,
+    std::shared_ptr<crossbar::ProgrammedModelCache> cache = nullptr)
+{
+    const DemoWorkload &work = demoWorkload();
+    const core::HardwareConfig base{16, 8, 2.4, false, 0.25, 1, 8};
+    if (!cache)
+        cache = std::make_shared<crossbar::ProgrammedModelCache>(
+            aqfp::AttenuationModel());
+    const core::ScenarioSweep sweep(*work.mlp, work.dataset.test, base,
+                                    cache);
+    core::SweepOptions opts = demoOptions();
+    opts.threads = threads;
+    return sweep.run(demoGrid(), opts);
+}
+
+/** The demo surface as the deterministic golden JSON (newline-terminated). */
+inline std::string
+yieldSurfaceJson(std::size_t threads = 0)
+{
+    return core::toJson(runDemoSweep(threads)) + "\n";
+}
+
+} // namespace yield_surface_util
+
+#endif // SUPERBNN_BENCH_YIELD_SURFACE_UTIL_H

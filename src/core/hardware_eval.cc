@@ -1,9 +1,64 @@
 #include "core/hardware_eval.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace superbnn::core {
+
+namespace {
+
+/** SplitMix64 finalizer (same mixing the executor's tile seeds use). */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+bitPattern(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/**
+ * Named-cache key of one pristine mapped layer: everything the build
+ * depends on beyond the weights themselves (which @p tag names).
+ */
+std::string
+modelCacheKey(const std::string &tag, const std::string &layer,
+              std::size_t cs, double delta_iin_ua,
+              const aqfp::PowerLawFit &fit)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "/cs%zu/d%016llx/a%016llx/b%016llx", cs,
+                  static_cast<unsigned long long>(
+                      bitPattern(delta_iin_ua)),
+                  static_cast<unsigned long long>(bitPattern(fit.a)),
+                  static_cast<unsigned long long>(bitPattern(fit.b)));
+    return tag + "/" + layer + buf;
+}
+
+} // namespace
+
+std::uint64_t
+faultMaskSeed(std::uint64_t master_seed, std::uint64_t chip_index,
+              std::size_t layer, std::size_t rt, std::size_t ct)
+{
+    std::uint64_t s = splitmix64(master_seed ^ 0x7969656c64ULL); // "yield"
+    s = splitmix64(s ^ chip_index);
+    return splitmix64(s ^ (static_cast<std::uint64_t>(layer) << 42)
+                      ^ (static_cast<std::uint64_t>(rt) << 21)
+                      ^ static_cast<std::uint64_t>(ct));
+}
 
 HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
                                      HardwareConfig config)
@@ -16,21 +71,50 @@ HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
 void
 HardwareEvaluator::mapMlp(const RandomizedMlp &model)
 {
+    mapMlp(model, nullptr, "mlp");
+}
+
+void
+HardwareEvaluator::mapMlp(const RandomizedMlp &model,
+                          crossbar::ProgrammedModelCache *cache,
+                          const std::string &tag)
+{
     kind = Kind::Mlp;
     mapped.clear();
     const crossbar::CrossbarMapper mapper(cfg.crossbarSize, atten,
                                           cfg.deltaIinUa);
+    // With a cache, each pristine thresholded layer is built at most
+    // once per (tag, geometry) and this evaluator takes a private
+    // copy; the build is deterministic, so cached and direct maps are
+    // bit-identical.
+    auto mapLayer = [&](const std::string &name,
+                        const std::function<crossbar::MappedLayer()>
+                            &build) {
+        if (!cache)
+            return build();
+        return crossbar::MappedLayer(*cache->named(
+            modelCacheKey(tag, name, cfg.crossbarSize, cfg.deltaIinUa,
+                          atten.fit()),
+            build));
+    };
+    std::size_t li = 0;
     for (const auto &cell : model.cells()) {
         MappedCell mc;
-        mc.layer = mapper.map(cell.linear->signedWeights());
         const FoldedBn folded =
             foldBatchNorm(*cell.bn, cell.linear->alpha().value);
-        crossbar::CrossbarMapper::setThresholds(mc.layer, folded.vth);
+        mc.layer = mapLayer("fc" + std::to_string(li + 1), [&]() {
+            crossbar::MappedLayer layer =
+                mapper.map(cell.linear->signedWeights());
+            crossbar::CrossbarMapper::setThresholds(layer, folded.vth);
+            return layer;
+        });
         mc.flip = folded.flip;
         mapped.push_back(std::move(mc));
+        ++li;
     }
     const auto &head = model.head();
-    headMapped = mapper.map(head.signedWeights());
+    headMapped = mapLayer(
+        "head", [&]() { return mapper.map(head.signedWeights()); });
     headAlpha.assign(head.alpha().value.data(),
                      head.alpha().value.data()
                          + head.alpha().value.size());
@@ -373,6 +457,46 @@ HardwareEvaluator::injectVariation(double gray_zone_sigma,
         hit(mc.layer);
     hit(headMapped);
     return stuck;
+}
+
+std::size_t
+HardwareEvaluator::injectVariationSeeded(double gray_zone_sigma,
+                                         double stuck_cell_fraction,
+                                         std::uint64_t master_seed,
+                                         std::uint64_t chip_index)
+{
+    std::size_t stuck = 0;
+    auto hit = [&](crossbar::MappedLayer &layer, std::size_t li) {
+        for (std::size_t rt = 0; rt < layer.rowTiles; ++rt) {
+            for (std::size_t ct = 0; ct < layer.colTiles; ++ct) {
+                const std::uint64_t seed = faultMaskSeed(
+                    master_seed, chip_index, li, rt, ct);
+                crossbar::CrossbarArray &tile = layer.tile(rt, ct);
+                if (gray_zone_sigma > 0.0) {
+                    // Private per-tile generator derived from the same
+                    // seed chain: no cross-tile draw-order coupling.
+                    Rng grng(splitmix64(seed ^ 0x67726179ULL)); // "gray"
+                    tile.applyGrayZoneVariation(gray_zone_sigma, grng);
+                }
+                if (stuck_cell_fraction > 0.0)
+                    stuck += tile.injectStuckCellsSeeded(
+                        stuck_cell_fraction, seed);
+            }
+        }
+    };
+    for (std::size_t i = 0; i < mapped.size(); ++i)
+        hit(mapped[i].layer, i);
+    hit(headMapped, mapped.size());
+    return stuck;
+}
+
+aqfp::LedgerCounts
+HardwareEvaluator::totalLedgerCounts() const
+{
+    aqfp::LedgerCounts total;
+    for (const auto &l : ledgers)
+        total += l.totals();
+    return total;
 }
 
 std::size_t

@@ -23,10 +23,23 @@
 #include "core/bn_matching.h"
 #include "core/models.h"
 #include "crossbar/mapper.h"
+#include "crossbar/model_cache.h"
 #include "crossbar/tile_executor.h"
 #include "data/dataset.h"
 
 namespace superbnn::core {
+
+/**
+ * Seed of the stuck-cell fault mask of tile (rt, ct) of mapped layer
+ * @p layer (head = number of hidden layers) on chip @p chip_index of a
+ * Monte-Carlo population rooted at @p master_seed. A pure SplitMix64
+ * chain of its arguments — independent of draw order, thread count, or
+ * which corner the chip is evaluated at — so the same chip index
+ * carries the same physical fault pattern everywhere it appears.
+ */
+std::uint64_t faultMaskSeed(std::uint64_t master_seed,
+                            std::uint64_t chip_index, std::size_t layer,
+                            std::size_t rt, std::size_t ct);
 
 /** Hardware simulation configuration. */
 struct HardwareConfig
@@ -87,6 +100,21 @@ class HardwareEvaluator
 
     /** Map a trained MLP (reads weights, folds BN into thresholds). */
     void mapMlp(const RandomizedMlp &model);
+
+    /**
+     * mapMlp through a ProgrammedModelCache: each layer's pristine
+     * thresholded MappedLayer is built at most once per @p tag (a
+     * caller-chosen name identifying the trained weights) and shared
+     * via the cache's named section; this evaluator installs a private
+     * copy it may then mutate (fault injection). The cache key encodes
+     * tag, layer, Cs, and the deltaIin/attenuation-fit bit patterns,
+     * so one cache can serve every corner of a sweep; a cache-backed
+     * map is bit-identical to a direct mapMlp(model) (warm or cold).
+     * A null @p cache degrades to the direct path.
+     */
+    void mapMlp(const RandomizedMlp &model,
+                crossbar::ProgrammedModelCache *cache,
+                const std::string &tag);
 
     /** Map a trained CNN. */
     void mapCnn(const RandomizedCnn &model);
@@ -173,6 +201,31 @@ class HardwareEvaluator
      */
     std::size_t injectVariation(double gray_zone_sigma,
                                 double stuck_cell_fraction, Rng &rng);
+
+    /**
+     * Reproducible variation injection for Monte-Carlo yield sweeps:
+     * every tile's stuck-cell mask is seeded per
+     * faultMaskSeed(master_seed, chip_index, layer, rt, ct) through
+     * the counter-stream path (crossbar::CrossbarArray::
+     * injectStuckCellsSeeded), and each tile's gray-zone variation
+     * draws from its own Rng derived from the same seed — so the
+     * injected chip instance is a pure function of
+     * (mapped model, master_seed, chip_index), byte-identical at any
+     * thread count and independent of every other chip. Returns the
+     * number of stuck cells injected.
+     */
+    std::size_t injectVariationSeeded(double gray_zone_sigma,
+                                      double stuck_cell_fraction,
+                                      std::uint64_t master_seed,
+                                      std::uint64_t chip_index);
+
+    /**
+     * Sum of every layer ledger's totals (mapped layers + head): the
+     * whole-chip observed activity since mapping / the last
+     * resetLedgers(). Deterministic integers — the yield sweep's
+     * per-chip attribution.
+     */
+    aqfp::LedgerCounts totalLedgerCounts() const;
 
     const HardwareConfig &config() const { return cfg; }
 

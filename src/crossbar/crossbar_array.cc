@@ -255,4 +255,28 @@ CrossbarArray::injectStuckCells(double fraction, Rng &rng)
     return knocked;
 }
 
+std::size_t
+CrossbarArray::injectStuckCellsSeeded(double fraction, std::uint64_t seed)
+{
+    assert(fraction >= 0.0 && fraction <= 1.0);
+    if (fraction <= 0.0)
+        return 0;
+    const std::size_t n = cells.size();
+    // The mask is drawn position-indexed from the counter stream, so it
+    // depends on (seed, fraction) alone — never on which cells happen
+    // to be active or on any other RNG consumer's draw order.
+    std::vector<std::uint64_t> mask(sc::detail::wordsForLength(n), 0);
+    sc::detail::CounterStream stream{seed, 0};
+    sc::detail::bernoulliFill(mask.data(), n, fraction, stream);
+    std::size_t knocked = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cells[i].active() && ((mask[i / 64] >> (i % 64)) & 1u)) {
+            cells[i].clear();
+            weightCache[i] = 0;
+            ++knocked;
+        }
+    }
+    return knocked;
+}
+
 } // namespace superbnn::crossbar

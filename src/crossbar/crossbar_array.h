@@ -11,6 +11,7 @@
 #ifndef SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H
 #define SUPERBNN_CROSSBAR_CROSSBAR_ARRAY_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -162,6 +163,31 @@ class CrossbarArray
      * of cells actually knocked out.
      */
     std::size_t injectStuckCells(double fraction, Rng &rng);
+
+    /**
+     * Seeded fault injection: the stuck-cell mask is a pure function of
+     * (@p seed, fraction) via the same counter-based SplitMix64 stream
+     * the seeded observe path uses — bit i of the mask is draw i of
+     * CounterStream{seed, 0} compared against the Bernoulli threshold,
+     * independent of draw order, thread count, or how many cells are
+     * currently active. Because each draw is a fixed function of
+     * (seed, position), raising @p fraction only widens the threshold:
+     * the mask at a higher fraction is a superset of the mask at a
+     * lower one for the same seed (nested faults). Returns the number
+     * of active cells actually knocked out.
+     */
+    std::size_t injectStuckCellsSeeded(double fraction,
+                                       std::uint64_t seed);
+
+    /**
+     * Effective weight of one cell: +1/-1 if programmed, 0 if inactive
+     * (exactly LimCell::multiply(1)).
+     */
+    int weightAt(std::size_t row, std::size_t col) const
+    {
+        assert(row < size_ && col < size_);
+        return weightCache[row * size_ + col];
+    }
 
   private:
     std::size_t size_;

@@ -43,6 +43,22 @@ ProgrammedModelCache::geometry(std::size_t fan_in, std::size_t fan_out,
     return layer;
 }
 
+std::shared_ptr<const MappedLayer>
+ProgrammedModelCache::named(const std::string &key,
+                            const std::function<MappedLayer()> &build)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = namedEntries.find(key);
+    if (it != namedEntries.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    auto layer = std::make_shared<const MappedLayer>(build());
+    namedEntries.emplace(key, layer);
+    return layer;
+}
+
 ProgrammedModelCache::Stats
 ProgrammedModelCache::stats() const
 {
@@ -54,7 +70,7 @@ std::size_t
 ProgrammedModelCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries.size();
+    return entries.size() + namedEntries.size();
 }
 
 void
@@ -62,6 +78,7 @@ ProgrammedModelCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries.clear();
+    namedEntries.clear();
     stats_ = Stats{};
 }
 

@@ -28,9 +28,11 @@
 #define SUPERBNN_CROSSBAR_MODEL_CACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "crossbar/mapper.h"
@@ -60,10 +62,26 @@ class ProgrammedModelCache
     geometry(std::size_t fan_in, std::size_t fan_out, std::size_t cs,
              double delta_iin_ua = 2.4);
 
+    /**
+     * The mapped model for an arbitrary string key, built on first
+     * request by @p build and shared read-only by every later call
+     * with the same key. This is how workloads with real weights (the
+     * yield sweep's pristine per-layer models) share one programmed
+     * copy across thousands of chip tasks: the key encodes everything
+     * the build depends on (model tag, layer index, Cs, deltaIin and
+     * attenuation-fit bit patterns), and the builder runs at most once
+     * per key, under the cache lock, counted in the same hit/miss
+     * stats as geometry(). The builder must not call back into this
+     * cache.
+     */
+    std::shared_ptr<const MappedLayer>
+    named(const std::string &key,
+          const std::function<MappedLayer()> &build);
+
     /** Snapshot of the hit/miss counters. Thread-safe. */
     Stats stats() const;
 
-    /** Distinct geometries currently cached. Thread-safe. */
+    /** Distinct entries currently cached (geometry + named). */
     std::size_t size() const;
 
     /** Drop every entry and zero the counters (holders keep theirs). */
@@ -80,6 +98,8 @@ class ProgrammedModelCache
     aqfp::AttenuationModel atten;
     mutable std::mutex mutex_;
     std::map<Key, std::shared_ptr<const MappedLayer>> entries;
+    std::map<std::string, std::shared_ptr<const MappedLayer>>
+        namedEntries;
     Stats stats_;
 };
 

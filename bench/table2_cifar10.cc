@@ -3,21 +3,25 @@
  * Reproduces Table 2: CIFAR-10-scale accuracy under different energy
  * efficiency constraints, against CMOS / ReRAM / STT-MRAM baselines.
  *
- * Accuracy column: our scaled CNN trained on synthetic CIFAR (DESIGN.md
- * Section 2) and measured on the crossbar simulator at each bitstream
- * length. Efficiency/power/throughput columns: the accelerator energy
- * model evaluated on the paper's full-size VGG-Small (and ResNet-18)
- * workloads, which is what the paper reports.
+ * Accuracy column: our scaled CNN trained on CIFAR-10 — the real
+ * binary batches when SUPERBNN_CIFAR_DIR points at them, otherwise the
+ * deterministic synthetic stand-in (DESIGN.md Section 2; the loader
+ * prints which) — and measured on the crossbar simulator at each
+ * bitstream length. Efficiency/power/throughput columns: the
+ * accelerator energy model evaluated on the paper's full-size
+ * VGG-Small (and ResNet-18) workloads, which is what the paper
+ * reports.
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "aqfp/energy.h"
 #include "baselines/baseline_specs.h"
 #include "bench_util.h"
 #include "core/hardware_eval.h"
 #include "core/trainer.h"
-#include "data/synthetic_cifar.h"
+#include "data/real_data.h"
 
 using namespace superbnn;
 using namespace superbnn::core;
@@ -37,10 +41,13 @@ main()
 
     // Train the scaled CNN once at the Cs = 16 design point.
     const aqfp::AttenuationModel atten;
-    data::SyntheticCifarOptions opts;
-    opts.trainSize = 300;
-    opts.testSize = 100;
-    const auto ds = data::makeSyntheticCifar(opts);
+    const char *cifar_dir = std::getenv("SUPERBNN_CIFAR_DIR");
+    const data::LoadedData ds = data::loadCifarOrSynthetic(
+        cifar_dir ? cifar_dir : "", /*max_train=*/300, /*max_test=*/100);
+    std::printf("dataset: %s\n",
+                cifar_dir ? ds.notice.c_str()
+                          : "SUPERBNN_CIFAR_DIR not set; using the "
+                            "deterministic synthetic set");
     Rng rng(2024);
     RandomizedCnn::Config ccfg;
     ccfg.channels = {6, 12};

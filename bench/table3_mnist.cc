@@ -1,19 +1,23 @@
 /**
  * @file
  * Reproduces Table 3: MNIST-scale MLP comparison against SyncBNN (CMOS),
- * RSFQ/ERSFQ (JBNN) and SC-AQFP. Accuracy from our randomized MLP on
- * synthetic MNIST measured on the crossbar simulator; efficiency from
- * the energy model on the paper's MLP workload (784-256-256-10).
+ * RSFQ/ERSFQ (JBNN) and SC-AQFP. Accuracy from our randomized MLP
+ * measured on the crossbar simulator — on REAL MNIST when
+ * SUPERBNN_MNIST_DIR points at the IDX files, otherwise on the
+ * deterministic synthetic stand-in (the loader prints which);
+ * efficiency from the energy model on the paper's MLP workload
+ * (784-256-256-10).
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "aqfp/energy.h"
 #include "baselines/baseline_specs.h"
 #include "bench_util.h"
 #include "core/hardware_eval.h"
 #include "core/trainer.h"
-#include "data/synthetic_mnist.h"
+#include "data/real_data.h"
 
 using namespace superbnn;
 using namespace superbnn::core;
@@ -23,10 +27,13 @@ int
 main()
 {
     const aqfp::AttenuationModel atten;
-    data::SyntheticMnistOptions opts;
-    opts.trainSize = 800;
-    opts.testSize = 200;
-    const auto ds = data::makeSyntheticMnist(opts);
+    const char *mnist_dir = std::getenv("SUPERBNN_MNIST_DIR");
+    const data::LoadedData ds = data::loadMnistOrSynthetic(
+        mnist_dir ? mnist_dir : "", /*max_train=*/800, /*max_test=*/200);
+    std::printf("dataset: %s\n",
+                mnist_dir ? ds.notice.c_str()
+                          : "SUPERBNN_MNIST_DIR not set; using the "
+                            "deterministic synthetic set");
 
     Rng rng(31);
     RandomizedMlp mlp(784, {64}, 10, AqfpBehavior{16, 2.4, 0.0}, atten,

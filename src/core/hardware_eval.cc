@@ -244,6 +244,42 @@ HardwareEvaluator::energyReports(double frequency_ghz) const
     return reports;
 }
 
+/**
+ * Root-draw provider for one batched evaluation. Exactly one of the
+ * two fields is set. With `shared`, draws come from the one engine in
+ * executor-sample order per pass — layer-major across the batch, the
+ * historical contract of classScores(samples, rng). With `perRequest`,
+ * request b's draws come from its own engine in the same order a
+ * singleton run would consume them — so coalescing never reassigns
+ * noise between requests.
+ */
+struct HardwareEvaluator::RootSource
+{
+    Rng *shared = nullptr;
+    std::vector<Rng> *perRequest = nullptr;
+
+    /**
+     * Roots for one executor pass covering @p group consecutive
+     * executor samples per request (1 for fc layers, the spatial
+     * position count for patch-driven conv layers), requests in batch
+     * order.
+     */
+    std::vector<std::uint64_t>
+    draw(std::size_t requests, std::size_t group)
+    {
+        std::vector<std::uint64_t> roots(requests * group);
+        if (shared) {
+            for (auto &r : roots)
+                r = shared->raw()();
+            return roots;
+        }
+        for (std::size_t b = 0; b < requests; ++b)
+            for (std::size_t p = 0; p < group; ++p)
+                roots[b * group + p] = (*perRequest)[b].raw()();
+        return roots;
+    }
+};
+
 std::vector<int>
 HardwareEvaluator::binarizeInput(const Tensor &sample) const
 {
@@ -255,21 +291,24 @@ HardwareEvaluator::binarizeInput(const Tensor &sample) const
 
 std::vector<std::vector<double>>
 HardwareEvaluator::runMlpBatch(
-    const std::vector<std::vector<int>> &inputs, Rng &rng) const
+    const std::vector<std::vector<int>> &inputs, RootSource &roots) const
 {
+    const std::size_t samples = inputs.size();
     std::vector<std::vector<int>> acts = inputs;
     for (std::size_t i = 0; i < mapped.size(); ++i) {
         const MappedCell &mc = mapped[i];
-        std::vector<std::vector<int>> next =
-            executor.forward(mc.layer, acts, rng, &ledgers[i]);
+        std::vector<std::vector<int>> next = executor.forwardSeeded(
+            mc.layer, acts, roots.draw(samples, 1), &ledgers[i]);
         for (auto &sample : next)
             for (std::size_t j = 0; j < sample.size(); ++j)
                 if (mc.flip[j])
                     sample[j] = -sample[j];
         acts = std::move(next);
     }
-    std::vector<std::vector<double>> scores = executor.forwardDecoded(
-        headMapped, acts, rng, &ledgers.back());
+    std::vector<std::vector<double>> scores =
+        executor.forwardDecodedSeeded(headMapped, acts,
+                                      roots.draw(samples, 1),
+                                      &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];
@@ -278,7 +317,7 @@ HardwareEvaluator::runMlpBatch(
 
 std::vector<std::vector<double>>
 HardwareEvaluator::runCnnBatch(
-    const std::vector<std::vector<int>> &inputs, Rng &rng) const
+    const std::vector<std::vector<int>> &inputs, RootSource &roots) const
 {
     // Activations held channel-major per sample:
     // acts[b][c * side * side + y * side + x]. Every conv layer runs as
@@ -323,8 +362,14 @@ HardwareEvaluator::runCnnBatch(
                 }
             }
         }
+        // One root per (request, patch), request-major — with a
+        // per-request source this is exactly the draw order a
+        // singleton run consumes, which is what keeps seeded batches
+        // bit-identical to singles.
         const std::vector<std::vector<int>> outs =
-            executor.forward(mc.layer, patches, rng, &ledgers[li]);
+            executor.forwardSeeded(mc.layer, patches,
+                                   roots.draw(samples, positions),
+                                   &ledgers[li]);
         std::vector<std::vector<int>> conv_out(
             samples, std::vector<int>(out_ch * side * side));
         for (std::size_t b = 0; b < samples; ++b) {
@@ -367,8 +412,10 @@ HardwareEvaluator::runCnnBatch(
             acts = std::move(conv_out);
         }
     }
-    std::vector<std::vector<double>> scores = executor.forwardDecoded(
-        headMapped, acts, rng, &ledgers.back());
+    std::vector<std::vector<double>> scores =
+        executor.forwardDecodedSeeded(headMapped, acts,
+                                      roots.draw(samples, 1),
+                                      &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];
@@ -385,8 +432,52 @@ HardwareEvaluator::classScores(const std::vector<Tensor> &samples,
     for (const Tensor &s : samples)
         inputs.push_back(binarizeInput(s));
     images_.fetch_add(samples.size(), std::memory_order_relaxed);
-    return kind == Kind::Mlp ? runMlpBatch(inputs, rng)
-                             : runCnnBatch(inputs, rng);
+    RootSource roots;
+    roots.shared = &rng;
+    return kind == Kind::Mlp ? runMlpBatch(inputs, roots)
+                             : runCnnBatch(inputs, roots);
+}
+
+std::vector<std::vector<double>>
+HardwareEvaluator::classScoresSeeded(
+    const std::vector<Tensor> &samples,
+    const std::vector<std::uint64_t> &seeds) const
+{
+    assert(kind != Kind::None && "map a model first");
+    if (samples.size() != seeds.size())
+        throw std::invalid_argument(
+            "HardwareEvaluator::classScoresSeeded: "
+            + std::to_string(seeds.size()) + " seeds for "
+            + std::to_string(samples.size()) + " samples");
+    std::vector<std::vector<int>> inputs;
+    inputs.reserve(samples.size());
+    for (const Tensor &s : samples)
+        inputs.push_back(binarizeInput(s));
+    images_.fetch_add(samples.size(), std::memory_order_relaxed);
+    // One private engine per request: sample i consumes the exact draw
+    // sequence classScores(samples[i], Rng(seeds[i])) would.
+    std::vector<Rng> engines;
+    engines.reserve(seeds.size());
+    for (const std::uint64_t seed : seeds)
+        engines.emplace_back(seed);
+    RootSource roots;
+    roots.perRequest = &engines;
+    return kind == Kind::Mlp ? runMlpBatch(inputs, roots)
+                             : runCnnBatch(inputs, roots);
+}
+
+std::vector<std::size_t>
+HardwareEvaluator::predictSeeded(
+    const std::vector<Tensor> &samples,
+    const std::vector<std::uint64_t> &seeds) const
+{
+    const auto scores = classScoresSeeded(samples, seeds);
+    std::vector<std::size_t> best(scores.size(), 0);
+    for (std::size_t b = 0; b < scores.size(); ++b)
+        for (std::size_t j = 1; j < scores[b].size(); ++j)
+            if (scores[b][j] > scores[b][best[b]])
+                best[b] = j;
+    return best;
 }
 
 std::vector<double>

@@ -145,12 +145,46 @@ class HardwareEvaluator
     std::vector<std::vector<double>>
     classScores(const std::vector<Tensor> &samples, Rng &rng) const;
 
+    /**
+     * Request-pinned batched class scores: sample i draws all of its
+     * noise from its own Rng stream seeded with @p seeds[i], one
+     * stream per request, instead of sharing one Rng across the batch.
+     *
+     * Contract (the serving layer's determinism guarantee, see
+     * docs/SERVING.md): entry i is bit-identical to
+     * `classScores(samples[i], Rng(seeds[i]))` — for ANY batch
+     * composition, batch size, thread count, and SIMD arm. This is
+     * what the shared-Rng batched overload cannot give (it assigns
+     * root draws layer-major across the batch); here each request's
+     * draw sequence is pinned to its seed, so coalescing requests into
+     * executor megabatches never changes any response.
+     *
+     * Mixed model kinds are supported (MLP and CNN evaluators both
+     * route through it). Records into the same per-layer ledgers as
+     * every other evaluation entry point.
+     *
+     * @throws std::invalid_argument when seeds.size() != samples.size()
+     */
+    std::vector<std::vector<double>>
+    classScoresSeeded(const std::vector<Tensor> &samples,
+                      const std::vector<std::uint64_t> &seeds) const;
+
     /** Argmax of classScores. */
     std::size_t predict(const Tensor &sample, Rng &rng) const;
 
     /** Batched argmax of classScores. */
     std::vector<std::size_t>
     predict(const std::vector<Tensor> &samples, Rng &rng) const;
+
+    /**
+     * Argmax of classScoresSeeded (same per-request determinism
+     * contract): entry i equals `predict(samples[i], Rng(seeds[i]))`
+     * bit-exactly regardless of batch composition or thread count.
+     * @throws std::invalid_argument when seeds.size() != samples.size()
+     */
+    std::vector<std::size_t>
+    predictSeeded(const std::vector<Tensor> &samples,
+                  const std::vector<std::uint64_t> &seeds) const;
 
     /**
      * Accuracy over (a subset of) a dataset, evaluated in batches of
@@ -262,13 +296,23 @@ class HardwareEvaluator
     /** LayerSpec mirroring mapped layer @p i (head = mapped.size()). */
     aqfp::LayerSpec layerSpec(std::size_t i) const;
 
+    /**
+     * Where an executor pass's per-sample root draws come from: a
+     * shared Rng assigns them layer-major across the whole batch (the
+     * historical batched contract), while per-request engines pin each
+     * sample's draw sequence to its own request seed (the serving
+     * contract behind classScoresSeeded: batched == singleton
+     * bit-exactly). Defined in the .cc.
+     */
+    struct RootSource;
+
     std::vector<int> binarizeInput(const Tensor &sample) const;
     std::vector<std::vector<double>>
     runMlpBatch(const std::vector<std::vector<int>> &inputs,
-                Rng &rng) const;
+                RootSource &roots) const;
     std::vector<std::vector<double>>
     runCnnBatch(const std::vector<std::vector<int>> &inputs,
-                Rng &rng) const;
+                RootSource &roots) const;
 };
 
 } // namespace superbnn::core

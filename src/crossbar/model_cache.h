@@ -10,7 +10,10 @@
  * READ-ONLY across callers (TileExecutor never mutates the layer it
  * executes), so concurrent explorer tasks can replay one cached model
  * simultaneously. Hit/miss counters feed the autotune bench's cache
- * columns.
+ * columns. The serving layer leans on the same read-only sharing:
+ * core::HardwareEvaluator::mapMlp(model, cache, tag) lets a fleet of
+ * evaluators (one per serving process or test) install private copies
+ * of one cached pristine mapping (see docs/SERVING.md).
  *
  * Key contract: entries are keyed by (fanIn, fanOut, cs, deltaIinUa).
  * The SC window L is deliberately NOT part of the key — a MappedLayer

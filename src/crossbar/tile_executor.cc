@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "util/executor_pool.h"
 
@@ -82,20 +84,42 @@ TileExecutor::runParallel(
     }
 }
 
+namespace {
+
+/**
+ * The root draws the Rng-based overloads consume: one raw draw per
+ * sample, in sample order, before any parallel work — so RNG
+ * consumption is identical to N consecutive single forwards.
+ */
+std::vector<std::uint64_t>
+drawRoots(Rng &rng, std::size_t samples)
+{
+    std::vector<std::uint64_t> roots(samples);
+    for (auto &r : roots)
+        r = rng.raw()();
+    return roots;
+}
+
+void
+requireMatchingRoots(std::size_t samples, std::size_t roots)
+{
+    if (samples != roots)
+        throw std::invalid_argument(
+            "TileExecutor: per-sample root count ("
+            + std::to_string(roots) + ") must match the batch size ("
+            + std::to_string(samples) + ")");
+}
+
+} // namespace
+
 void
 TileExecutor::observeTiles(
     const MappedLayer &layer, const std::vector<std::vector<int>> &batch,
-    Rng &rng,
+    const std::vector<std::uint64_t> &roots,
     std::vector<std::vector<sc::BitstreamBatch>> &observed,
     aqfp::HardwareLedger *ledger) const
 {
     const std::size_t samples = batch.size();
-    // Root seeds are drawn in sample order before any parallel work, so
-    // RNG consumption is identical to N consecutive single forwards.
-    std::vector<std::uint64_t> roots(samples);
-    for (auto &r : roots)
-        r = rng.raw()();
-
     if (ledger)
         ledger->beginForward(layer.rowTiles, layer.colTiles, samples);
 
@@ -159,14 +183,16 @@ TileExecutor::mergeColumns(
 }
 
 std::vector<std::vector<int>>
-TileExecutor::forward(const MappedLayer &layer,
-                      const std::vector<std::vector<int>> &batch,
-                      Rng &rng, aqfp::HardwareLedger *ledger) const
+TileExecutor::forwardSeeded(const MappedLayer &layer,
+                            const std::vector<std::vector<int>> &batch,
+                            const std::vector<std::uint64_t> &roots,
+                            aqfp::HardwareLedger *ledger) const
 {
 #ifndef NDEBUG
     for (const auto &acts : batch)
         assert(acts.size() == layer.fanIn);
 #endif
+    requireMatchingRoots(batch.size(), roots.size());
     const std::size_t samples = batch.size();
     std::vector<std::vector<int>> out(
         samples, std::vector<int>(layer.fanOut, -1));
@@ -174,7 +200,7 @@ TileExecutor::forward(const MappedLayer &layer,
         return out;
 
     std::vector<std::vector<sc::BitstreamBatch>> observed;
-    observeTiles(layer, batch, rng, observed, ledger); // barrier inside
+    observeTiles(layer, batch, roots, observed, ledger); // barrier inside
 
     const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
                                        dropFraction);
@@ -184,6 +210,15 @@ TileExecutor::forward(const MappedLayer &layer,
                      out[b][col] = accum.accumulate(column);
                  });
     return out;
+}
+
+std::vector<std::vector<int>>
+TileExecutor::forward(const MappedLayer &layer,
+                      const std::vector<std::vector<int>> &batch,
+                      Rng &rng, aqfp::HardwareLedger *ledger) const
+{
+    return forwardSeeded(layer, batch, drawRoots(rng, batch.size()),
+                         ledger);
 }
 
 std::vector<int>
@@ -198,14 +233,17 @@ TileExecutor::forward(const MappedLayer &layer,
 }
 
 std::vector<std::vector<double>>
-TileExecutor::forwardDecoded(const MappedLayer &layer,
-                             const std::vector<std::vector<int>> &batch,
-                             Rng &rng, aqfp::HardwareLedger *ledger) const
+TileExecutor::forwardDecodedSeeded(
+    const MappedLayer &layer,
+    const std::vector<std::vector<int>> &batch,
+    const std::vector<std::uint64_t> &roots,
+    aqfp::HardwareLedger *ledger) const
 {
 #ifndef NDEBUG
     for (const auto &acts : batch)
         assert(acts.size() == layer.fanIn);
 #endif
+    requireMatchingRoots(batch.size(), roots.size());
     const std::size_t samples = batch.size();
     std::vector<std::vector<double>> out(
         samples, std::vector<double>(layer.fanOut, 0.0));
@@ -213,7 +251,7 @@ TileExecutor::forwardDecoded(const MappedLayer &layer,
         return out;
 
     std::vector<std::vector<sc::BitstreamBatch>> observed;
-    observeTiles(layer, batch, rng, observed, ledger);
+    observeTiles(layer, batch, roots, observed, ledger);
 
     const sc::AccumulationModule accum(layer.rowTiles, window_, useExact,
                                        dropFraction);
@@ -223,6 +261,15 @@ TileExecutor::forwardDecoded(const MappedLayer &layer,
                      out[b][col] = accum.decodedSum(column);
                  });
     return out;
+}
+
+std::vector<std::vector<double>>
+TileExecutor::forwardDecoded(const MappedLayer &layer,
+                             const std::vector<std::vector<int>> &batch,
+                             Rng &rng, aqfp::HardwareLedger *ledger) const
+{
+    return forwardDecodedSeeded(layer, batch,
+                                drawRoots(rng, batch.size()), ledger);
 }
 
 std::vector<double>

@@ -110,6 +110,30 @@ class TileExecutor
             aqfp::HardwareLedger *ledger = nullptr) const;
 
     /**
+     * Batched forward with caller-supplied per-sample root draws
+     * instead of a shared Rng: @p roots[b] plays the role of the one
+     * raw draw the Rng overload takes for sample b, so sample b's
+     * outputs depend ONLY on (layer, batch[b], roots[b]) — never on
+     * which other samples share the megabatch. This is the
+     * request-level determinism hook the inference service layer
+     * batches through (see docs/SERVING.md): a request coalesced into
+     * any batch is bit-identical to the same request run alone with
+     * the same root. Passing roots drawn as `rng.raw()()` in sample
+     * order reproduces the Rng overload exactly.
+     *
+     * @param layer   the mapped layer
+     * @param batch   +/-1 input vectors, each of length layer.fanIn
+     * @param roots   one raw 64-bit root draw per sample
+     * @param ledger  optional hardware-activity ledger
+     * @throws std::invalid_argument when roots.size() != batch.size()
+     */
+    std::vector<std::vector<int>>
+    forwardSeeded(const MappedLayer &layer,
+                  const std::vector<std::vector<int>> &batch,
+                  const std::vector<std::uint64_t> &roots,
+                  aqfp::HardwareLedger *ledger = nullptr) const;
+
+    /**
      * Multi-bit readout used for the classifier head: instead of the
      * final comparator, the APC count register is read out directly and
      * decoded to the accumulated bipolar value (minus the installed
@@ -126,6 +150,17 @@ class TileExecutor
     forwardDecoded(const MappedLayer &layer,
                    const std::vector<std::vector<int>> &batch, Rng &rng,
                    aqfp::HardwareLedger *ledger = nullptr) const;
+
+    /**
+     * Batched forwardDecoded with caller-supplied per-sample roots
+     * (same per-request determinism contract as forwardSeeded).
+     * @throws std::invalid_argument when roots.size() != batch.size()
+     */
+    std::vector<std::vector<double>>
+    forwardDecodedSeeded(const MappedLayer &layer,
+                         const std::vector<std::vector<int>> &batch,
+                         const std::vector<std::uint64_t> &roots,
+                         aqfp::HardwareLedger *ledger = nullptr) const;
 
     /**
      * Latent pre-binarization sums: sum_i a_i * w_ij - vth_j, the ideal
@@ -183,10 +218,13 @@ class TileExecutor
      * Phase 1 of a (batched) forward: observe every (rowTile, colTile)
      * tile for every sample into the scratch table, one task per tile.
      * observed[rt * colTiles + ct][c] holds column c's BitstreamBatch.
+     * @p roots carries one pre-drawn per-sample root (the Rng-based
+     * overloads draw them in sample order before any parallel work).
      */
     void
     observeTiles(const MappedLayer &layer,
-                 const std::vector<std::vector<int>> &batch, Rng &rng,
+                 const std::vector<std::vector<int>> &batch,
+                 const std::vector<std::uint64_t> &roots,
                  std::vector<std::vector<sc::BitstreamBatch>> &observed,
                  aqfp::HardwareLedger *ledger) const;
 

@@ -11,7 +11,10 @@
  * rather than silently mis-parsing. The ...OrSynthetic entry points
  * degrade gracefully: when the files are absent they return the
  * deterministic synthetic sets plus a human-readable notice, so every
- * caller works in every environment.
+ * caller works in every environment. The Table 2/3 benches
+ * (bench/table2_cifar10.cc, bench/table3_mnist.cc) route through them,
+ * gated on the SUPERBNN_CIFAR_DIR / SUPERBNN_MNIST_DIR environment
+ * variables, printing the notice either way.
  *
  * Formats:
  *  - MNIST IDX: big-endian header {0x00, 0x00, type 0x08 = ubyte,

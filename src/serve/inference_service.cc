@@ -1,0 +1,272 @@
+#include "serve/inference_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/env.h"
+
+namespace superbnn::serve {
+
+namespace {
+
+/** Field-wise difference of two ledger snapshots (after - before). */
+aqfp::LedgerCounts
+countsDelta(const aqfp::LedgerCounts &after,
+            const aqfp::LedgerCounts &before)
+{
+    aqfp::LedgerCounts d;
+    d.samples = after.samples - before.samples;
+    d.tileObservations = after.tileObservations - before.tileObservations;
+    d.crossbarCycles = after.crossbarCycles - before.crossbarCycles;
+    d.bernoulliDraws = after.bernoulliDraws - before.bernoulliDraws;
+    d.apcAccumulations = after.apcAccumulations - before.apcAccumulations;
+    d.apcInputBits = after.apcInputBits - before.apcInputBits;
+    d.columnGroupSteps = after.columnGroupSteps - before.columnGroupSteps;
+    d.bufferReadBits = after.bufferReadBits - before.bufferReadBits;
+    d.bufferWriteBits = after.bufferWriteBits - before.bufferWriteBits;
+    return d;
+}
+
+/**
+ * One request's share of a megabatch's activity. Every count a batch
+ * accrues is per-sample identical (activity is value-independent), so
+ * the division is exact — the asserts document that, they do not
+ * round.
+ */
+aqfp::LedgerCounts
+countsShare(const aqfp::LedgerCounts &batch, std::uint64_t n)
+{
+    assert(n > 0);
+    aqfp::LedgerCounts s;
+    assert(batch.samples % n == 0);
+    s.samples = batch.samples / n;
+    assert(batch.tileObservations % n == 0);
+    s.tileObservations = batch.tileObservations / n;
+    assert(batch.crossbarCycles % n == 0);
+    s.crossbarCycles = batch.crossbarCycles / n;
+    assert(batch.bernoulliDraws % n == 0);
+    s.bernoulliDraws = batch.bernoulliDraws / n;
+    assert(batch.apcAccumulations % n == 0);
+    s.apcAccumulations = batch.apcAccumulations / n;
+    assert(batch.apcInputBits % n == 0);
+    s.apcInputBits = batch.apcInputBits / n;
+    assert(batch.columnGroupSteps % n == 0);
+    s.columnGroupSteps = batch.columnGroupSteps / n;
+    assert(batch.bufferReadBits % n == 0);
+    s.bufferReadBits = batch.bufferReadBits / n;
+    assert(batch.bufferWriteBits % n == 0);
+    s.bufferWriteBits = batch.bufferWriteBits / n;
+    return s;
+}
+
+double
+elapsedMicros(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+} // namespace
+
+ServiceConfig
+ServiceConfig::fromEnv()
+{
+    ServiceConfig cfg;
+    cfg.maxBatch = util::envSize("SUPERBNN_SERVE_MAX_BATCH",
+                                 cfg.maxBatch, /*min_value=*/1);
+    cfg.maxLingerMicros =
+        util::envSize("SUPERBNN_SERVE_LINGER_US", cfg.maxLingerMicros);
+    cfg.maxQueue = util::envSize("SUPERBNN_SERVE_QUEUE", cfg.maxQueue,
+                                 /*min_value=*/1);
+    return cfg;
+}
+
+InferenceService::InferenceService(
+    const core::HardwareEvaluator &evaluator, ServiceConfig config)
+    : evaluator(evaluator), cfg(config)
+{
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+InferenceService::~InferenceService()
+{
+    stop();
+}
+
+std::future<InferenceResponse>
+InferenceService::submit(Tensor sample, std::uint64_t seed)
+{
+    auto admitted = trySubmitLocked(std::move(sample), seed,
+                                    /*throw_on_reject=*/true);
+    return std::move(*admitted);
+}
+
+std::optional<std::future<InferenceResponse>>
+InferenceService::trySubmit(Tensor sample, std::uint64_t seed)
+{
+    return trySubmitLocked(std::move(sample), seed,
+                           /*throw_on_reject=*/false);
+}
+
+std::optional<std::future<InferenceResponse>>
+InferenceService::trySubmitLocked(Tensor sample, std::uint64_t seed,
+                                  bool throw_on_reject)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping) {
+        if (throw_on_reject)
+            throw ShutdownError();
+        return std::nullopt;
+    }
+    if (queue.size() >= cfg.maxQueue) {
+        ++counters.rejected;
+        if (throw_on_reject)
+            throw QueueFullError();
+        return std::nullopt;
+    }
+    Pending p;
+    p.id = nextId++;
+    p.sample = std::move(sample);
+    p.seed = seed;
+    p.enqueued = Clock::now();
+    std::future<InferenceResponse> fut = p.promise.get_future();
+    queue.push_back(std::move(p));
+    ++counters.accepted;
+    lock.unlock();
+    wake.notify_all();
+    return fut;
+}
+
+void
+InferenceService::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping = true;
+    }
+    wake.notify_all();
+    // Serialize the join so concurrent stop() calls (or stop() racing
+    // the destructor) are safe and both return only after the drain.
+    const std::lock_guard<std::mutex> join_lock(joinMutex);
+    if (dispatcher.joinable())
+        dispatcher.join();
+}
+
+ServiceStats
+InferenceService::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters;
+}
+
+void
+InferenceService::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return; // stopping and drained
+        // Linger: give the batch a chance to fill, bounded by the
+        // oldest request's deadline. A stopping service skips the
+        // linger — drain latency beats drain batching.
+        if (cfg.maxLingerMicros > 0 && !stopping
+            && queue.size() < cfg.maxBatch) {
+            const auto deadline =
+                queue.front().enqueued
+                + std::chrono::microseconds(cfg.maxLingerMicros);
+            wake.wait_until(lock, deadline, [&] {
+                return stopping || queue.size() >= cfg.maxBatch;
+            });
+        }
+        std::vector<Pending> batch;
+        const std::size_t take =
+            std::min(queue.size(), cfg.maxBatch);
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+        ++counters.batches;
+        counters.largestBatch =
+            std::max(counters.largestBatch, batch.size());
+        lock.unlock();
+        // A dequeued slot frees queue capacity immediately; clients
+        // blocked on QueueFullError backoff can re-submit while the
+        // batch runs.
+        wake.notify_all();
+        serveBatch(batch);
+        lock.lock();
+        counters.served += batch.size();
+    }
+}
+
+void
+InferenceService::serveBatch(std::vector<Pending> &batch)
+{
+    const auto dispatched = Clock::now();
+    std::vector<Tensor> samples;
+    std::vector<std::uint64_t> seeds;
+    samples.reserve(batch.size());
+    seeds.reserve(batch.size());
+    for (Pending &p : batch) {
+        samples.push_back(std::move(p.sample));
+        seeds.push_back(p.seed);
+    }
+
+    const aqfp::LedgerCounts before = evaluator.totalLedgerCounts();
+    std::vector<std::vector<double>> scores;
+    try {
+        scores = evaluator.classScoresSeeded(samples, seeds);
+    } catch (...) {
+        // A failed megabatch fails every rider; futures are never
+        // abandoned.
+        for (Pending &p : batch)
+            p.promise.set_exception(std::current_exception());
+        return;
+    }
+    const aqfp::LedgerCounts share = countsShare(
+        countsDelta(evaluator.totalLedgerCounts(), before),
+        batch.size());
+    refreshUnitCost();
+
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        InferenceResponse r;
+        r.requestId = batch[i].id;
+        r.scores = std::move(scores[i]);
+        r.predicted = static_cast<std::size_t>(
+            std::max_element(r.scores.begin(), r.scores.end())
+            - r.scores.begin());
+        r.counts = share;
+        r.energyAj = unitEnergyAj;
+        r.hardwareLatencyUs = unitLatencyUs;
+        r.queueMicros = elapsedMicros(batch[i].enqueued, dispatched);
+        r.serviceMicros = elapsedMicros(batch[i].enqueued, done);
+        r.batchSize = batch.size();
+        batch[i].promise.set_value(std::move(r));
+    }
+}
+
+void
+InferenceService::refreshUnitCost()
+{
+    // Activity per image is value-independent and constant for a
+    // mapped model, so the per-image price is too: one pricing pass
+    // after the first batch serves every response.
+    if (unitCostValid)
+        return;
+    unitEnergyAj = 0.0;
+    unitLatencyUs = 0.0;
+    bool valid = evaluator.imagesObserved() > 0;
+    for (const core::LayerEnergyReport &layer :
+         evaluator.energyReports(cfg.frequencyGhz)) {
+        valid = valid && layer.measuredValid;
+        unitEnergyAj += layer.measured.totalEnergyAj;
+        unitLatencyUs += layer.measured.latencyUs;
+    }
+    unitCostValid = valid;
+}
+
+} // namespace superbnn::serve

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * In-process inference service: concurrent request admission, linger
+ * batching onto the executor pool, per-request ledger attribution.
+ *
+ * The service wraps one mapped core::HardwareEvaluator and turns it
+ * from a batch-evaluation API into a request/response one: callers on
+ * any thread submit() single samples and receive futures, while a
+ * single dispatcher thread coalesces queued requests into executor
+ * megabatches. Coalescing is invisible in the responses — each request
+ * carries its own noise seed and runs through
+ * core::HardwareEvaluator::classScoresSeeded, whose contract makes
+ * every response bit-identical to a direct single-sample
+ * `classScores(sample, Rng(seed))` call regardless of batch
+ * composition, batch size, thread count, or SIMD arm.
+ *
+ * The full request lifecycle, batching/linger semantics, backpressure
+ * policy, and attribution math are documented in docs/SERVING.md.
+ */
+
+#ifndef SUPERBNN_SERVE_INFERENCE_SERVICE_H
+#define SUPERBNN_SERVE_INFERENCE_SERVICE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "aqfp/ledger.h"
+#include "core/hardware_eval.h"
+
+namespace superbnn::serve {
+
+/**
+ * Admission and batching knobs. fromEnv() overlays the defaults with
+ * the SUPERBNN_SERVE_* environment variables so the standalone server
+ * and loadgen binaries are tunable without flags.
+ */
+struct ServiceConfig
+{
+    /// Largest megabatch the dispatcher hands the evaluator at once.
+    std::size_t maxBatch = 16;
+    /// How long the dispatcher lingers after the oldest queued request
+    /// arrived, waiting for the batch to fill, before dispatching a
+    /// partial one. 0 = dispatch immediately (no coalescing beyond
+    /// what is already queued).
+    std::size_t maxLingerMicros = 200;
+    /// Bounded admission queue: submit() beyond this rejects with
+    /// QueueFullError (backpressure; see docs/SERVING.md).
+    std::size_t maxQueue = 256;
+    /// AQFP clock the per-request energy/latency attribution is priced
+    /// at (passed to core::HardwareEvaluator::energyReports).
+    double frequencyGhz = 5.0;
+
+    /**
+     * Defaults overridden by SUPERBNN_SERVE_MAX_BATCH (>= 1),
+     * SUPERBNN_SERVE_LINGER_US (>= 0), and SUPERBNN_SERVE_QUEUE
+     * (>= 1), each with util::envSize's ignore-invalid-with-notice
+     * semantics.
+     */
+    static ServiceConfig fromEnv();
+};
+
+/**
+ * One served request: the prediction plus this request's exact share
+ * of the hardware cost of the megabatch it rode in.
+ *
+ * Attribution is exact, not amortized-approximate: ledger counts are
+ * value-independent and identical for every sample in a batch, so the
+ * batch's observed-count delta divides by the batch size without
+ * remainder (asserted in the tests).
+ */
+struct InferenceResponse
+{
+    std::uint64_t requestId = 0;       ///< service-assigned, monotonic
+    std::size_t predicted = 0;         ///< argmax class
+    std::vector<double> scores;        ///< per-class scores
+    aqfp::LedgerCounts counts;         ///< this request's activity share
+    double energyAj = 0.0;             ///< measured energy, this request
+    double hardwareLatencyUs = 0.0;    ///< simulated on-chip latency
+    double queueMicros = 0.0;          ///< host wall time spent queued
+    double serviceMicros = 0.0;        ///< host wall time submit -> done
+    std::size_t batchSize = 0;         ///< megabatch it was served in
+};
+
+/** submit() on a full admission queue (the documented reject policy). */
+class QueueFullError : public std::runtime_error
+{
+  public:
+    QueueFullError() : std::runtime_error("inference queue full") {}
+};
+
+/** submit() on a stopped (or stopping) service. */
+class ShutdownError : public std::runtime_error
+{
+  public:
+    ShutdownError() : std::runtime_error("inference service stopped") {}
+};
+
+/** Monotonic service counters (snapshot; see InferenceService::stats). */
+struct ServiceStats
+{
+    std::uint64_t accepted = 0; ///< requests admitted to the queue
+    std::uint64_t rejected = 0; ///< requests refused (queue full)
+    std::uint64_t served = 0;   ///< responses fulfilled
+    std::uint64_t batches = 0;  ///< megabatches dispatched
+    std::size_t largestBatch = 0;
+};
+
+/**
+ * The long-lived in-process inference service.
+ *
+ * Threading: submit()/trySubmit()/stats() are safe from any number of
+ * client threads. The evaluator is driven only by the service's single
+ * dispatcher thread (the evaluator's one-evaluation-stream-at-a-time
+ * rule), which runs each megabatch on whatever executor concurrency
+ * the evaluator was configured with — by default the process-wide
+ * shared util::ExecutorPool.
+ *
+ * Shutdown: stop() (also run by the destructor) drains — requests
+ * already admitted are still served and their futures fulfilled; only
+ * NEW submissions are rejected with ShutdownError. No future obtained
+ * from submit() is ever abandoned.
+ */
+class InferenceService
+{
+  public:
+    /**
+     * @param evaluator  a mapped evaluator; the service becomes its
+     *                   sole evaluation stream until stop()
+     * @param config     admission/batching knobs
+     */
+    InferenceService(const core::HardwareEvaluator &evaluator,
+                     ServiceConfig config);
+    ~InferenceService();
+
+    InferenceService(const InferenceService &) = delete;
+    InferenceService &operator=(const InferenceService &) = delete;
+
+    /**
+     * Admit one request. @p sample is a (1, D) or (1, C, H, W) tensor;
+     * @p seed pins the request's stochastic-computing noise stream —
+     * the response is a pure function of (mapped model, sample, seed).
+     *
+     * @throws QueueFullError when maxQueue requests are already queued
+     * @throws ShutdownError  after stop()
+     */
+    std::future<InferenceResponse> submit(Tensor sample,
+                                          std::uint64_t seed);
+
+    /**
+     * Non-throwing admission: nullopt instead of QueueFullError /
+     * ShutdownError (the load generator's drop-and-count path).
+     */
+    std::optional<std::future<InferenceResponse>>
+    trySubmit(Tensor sample, std::uint64_t seed);
+
+    /**
+     * Stop admitting, drain every queued request, join the dispatcher.
+     * Idempotent.
+     */
+    void stop();
+
+    ServiceStats stats() const;
+
+    const ServiceConfig &config() const { return cfg; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        std::uint64_t id;
+        Tensor sample;
+        std::uint64_t seed;
+        Clock::time_point enqueued;
+        std::promise<InferenceResponse> promise;
+    };
+
+    /**
+     * Shared admission path: nullopt (or, when @p throw_on_reject, the
+     * corresponding exception) on a stopped service or full queue.
+     */
+    std::optional<std::future<InferenceResponse>>
+    trySubmitLocked(Tensor sample, std::uint64_t seed,
+                    bool throw_on_reject);
+    /** The dispatcher thread's admit-linger-dispatch loop. */
+    void dispatchLoop();
+    /** Evaluate one megabatch and fulfill its promises. */
+    void serveBatch(std::vector<Pending> &batch);
+    /** Lazily price one image's energy/latency from the ledgers. */
+    void refreshUnitCost();
+
+    const core::HardwareEvaluator &evaluator;
+    const ServiceConfig cfg;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake;
+    std::deque<Pending> queue;
+    bool stopping = false;
+    std::uint64_t nextId = 1;
+    ServiceStats counters;
+
+    /// Per-image measured cost, priced once after the first batch
+    /// (ledger activity per image is constant for a mapped model).
+    bool unitCostValid = false;
+    double unitEnergyAj = 0.0;
+    double unitLatencyUs = 0.0;
+
+    /// Serializes the dispatcher join (concurrent stop() calls).
+    std::mutex joinMutex;
+    std::thread dispatcher;
+};
+
+} // namespace superbnn::serve
+
+#endif // SUPERBNN_SERVE_INFERENCE_SERVICE_H

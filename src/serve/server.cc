@@ -1,0 +1,197 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace superbnn::serve {
+
+namespace {
+
+/** Write the whole buffer, riding out short writes and EINTR. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+SocketServer::SocketServer(InferenceService &service,
+                           const data::Dataset &samples,
+                           std::string socket_path)
+    : service(service), samples(samples),
+      socketPath(std::move(socket_path))
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("serve: socket path too long: "
+                                 + socketPath);
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        throw std::runtime_error("serve: socket() failed");
+    ::unlink(socketPath.c_str()); // replace a stale socket file
+    if (::bind(listenFd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr))
+            != 0
+        || ::listen(listenFd, 64) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("serve: cannot listen on " + socketPath
+                                 + ": " + why);
+    }
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+void
+SocketServer::stop()
+{
+    std::vector<std::thread> to_join;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping)
+            return;
+        stopping = true;
+        // Breaking the accept() and the per-connection read()s with
+        // shutdown() lets every thread fall out of its blocking call.
+        if (listenFd >= 0)
+            ::shutdown(listenFd, SHUT_RDWR);
+        for (int fd : connections)
+            ::shutdown(fd, SHUT_RDWR);
+        to_join.swap(handlers);
+    }
+    if (acceptor.joinable())
+        acceptor.join();
+    for (std::thread &t : to_join)
+        t.join();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+    }
+    ::unlink(socketPath.c_str());
+}
+
+void
+SocketServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket shut down
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping) {
+            ::close(fd);
+            return;
+        }
+        connections.push_back(fd);
+        handlers.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+SocketServer::handleConnection(int fd)
+{
+    std::string pending;
+    char buf[512];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // EOF or hangup
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t eol;
+        while ((eol = pending.find('\n')) != std::string::npos) {
+            const std::string line = pending.substr(0, eol);
+            pending.erase(0, eol + 1);
+            const std::string reply = handleLine(line);
+            if (reply.empty() || !writeAll(fd, reply)) {
+                ::close(fd);
+                return;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+std::string
+SocketServer::handleLine(const std::string &line)
+{
+    char cmd[16];
+    unsigned long long index = 0;
+    unsigned long long seed = 0;
+    const int fields =
+        std::sscanf(line.c_str(), "%15s %llu %llu", cmd, &index, &seed);
+    if (fields >= 1 && std::strcmp(cmd, "quit") == 0)
+        return "";
+    if (fields >= 1 && std::strcmp(cmd, "stats") == 0) {
+        const ServiceStats s = service.stats();
+        char out[160];
+        std::snprintf(out, sizeof(out),
+                      "stats %llu %llu %llu %llu %zu\n",
+                      static_cast<unsigned long long>(s.accepted),
+                      static_cast<unsigned long long>(s.served),
+                      static_cast<unsigned long long>(s.rejected),
+                      static_cast<unsigned long long>(s.batches),
+                      s.largestBatch);
+        return out;
+    }
+    if (fields != 3 || std::strcmp(cmd, "predict") != 0)
+        return "err bad request (want: predict <index> <seed>)\n";
+    if (index >= samples.size())
+        return "err sample index out of range\n";
+    try {
+        // Block this connection's thread on its future: concurrency
+        // comes from concurrent connections, which the service's
+        // dispatcher coalesces into megabatches.
+        const InferenceResponse r =
+            service.submit(samples.sample(index), seed).get();
+        char out[192];
+        std::snprintf(out, sizeof(out), "ok %zu %.17g %.17g %zu\n",
+                      r.predicted, r.energyAj, r.hardwareLatencyUs,
+                      r.batchSize);
+        return out;
+    } catch (const QueueFullError &) {
+        return "err queue full\n";
+    } catch (const ShutdownError &) {
+        return "err shutting down\n";
+    } catch (const std::exception &e) {
+        return std::string("err ") + e.what() + "\n";
+    }
+}
+
+} // namespace superbnn::serve

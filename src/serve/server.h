@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Standalone serving front-end: a Unix-domain stream-socket server
+ * exposing one InferenceService over a line-oriented text protocol.
+ *
+ * Protocol (one request per line, one response line per request):
+ *
+ *     predict <sample-index> <seed>
+ *         -> ok <predicted> <energy_aj> <latency_us> <batch_size>
+ *         -> err <reason>            (bad index, full queue, shutdown)
+ *     stats
+ *         -> stats <accepted> <served> <rejected> <batches> <largest>
+ *     quit
+ *         -> (connection closed)
+ *
+ * Samples are addressed by index into a dataset the server holds
+ * read-only; the client supplies the noise seed, so a response is a
+ * pure function of (mapped model, sample index, seed) — the same
+ * determinism contract as the in-process API (docs/SERVING.md). Used
+ * by the serve_server / loadgen bench pair and the socket round-trip
+ * test.
+ */
+
+#ifndef SUPERBNN_SERVE_SERVER_H
+#define SUPERBNN_SERVE_SERVER_H
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/inference_service.h"
+
+namespace superbnn::serve {
+
+/**
+ * Accepts any number of concurrent client connections, each handled by
+ * its own thread; all connections feed the one shared
+ * InferenceService, whose dispatcher coalesces them into megabatches.
+ */
+class SocketServer
+{
+  public:
+    /**
+     * Binds and listens on @p socket_path (an existing stale socket
+     * file is removed first) and starts the accept loop.
+     *
+     * @throws std::runtime_error when the socket cannot be bound
+     */
+    SocketServer(InferenceService &service, const data::Dataset &samples,
+                 std::string socket_path);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Stop accepting, hang up every open connection, join all handler
+     * threads, and unlink the socket file. Idempotent. Requests
+     * already admitted to the service are unaffected (the service owns
+     * drain semantics, not the transport).
+     */
+    void stop();
+
+    const std::string &path() const { return socketPath; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** One response line for one request line. Empty = close. */
+    std::string handleLine(const std::string &line);
+
+    InferenceService &service;
+    const data::Dataset &samples;
+    const std::string socketPath;
+
+    int listenFd = -1;
+    std::mutex mutex_;
+    bool stopping = false;
+    std::vector<int> connections;          ///< open client fds
+    std::vector<std::thread> handlers;     ///< one per connection
+    std::thread acceptor;
+};
+
+} // namespace superbnn::serve
+
+#endif // SUPERBNN_SERVE_SERVER_H

@@ -1,0 +1,38 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace superbnn::util {
+
+std::size_t
+envSize(const char *name, std::size_t fallback, std::size_t min_value)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && errno == 0 && *env != '-'
+        && v >= min_value)
+        return static_cast<std::size_t>(v);
+    // One notice per distinct (variable, value) pair: a fallback the
+    // user did not ask for must not be silent, but a hot loop must not
+    // spam stderr either.
+    static std::mutex warn_mutex;
+    static std::set<std::string> warned;
+    const std::lock_guard<std::mutex> lock(warn_mutex);
+    if (warned.insert(std::string(name) + "=" + env).second) {
+        std::fprintf(stderr,
+                     "superbnn: ignoring invalid %s value '%s' (want "
+                     "an integer >= %zu); using %zu\n",
+                     name, env, min_value, fallback);
+    }
+    return fallback;
+}
+
+} // namespace superbnn::util

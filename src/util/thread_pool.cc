@@ -1,9 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <string>
+
+#include "util/env.h"
 
 namespace superbnn::util {
 
@@ -63,28 +62,10 @@ constexpr std::size_t kClaimsPerThread = 8;
 std::size_t
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("SUPERBNN_THREADS")) {
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<std::size_t>(v);
-        // One notice per distinct invalid value: a fallback the user
-        // did not ask for must not be silent (SUPERBNN_SIMD behaves
-        // the same way), but a hot loop must not spam stderr either.
-        static std::mutex warn_mutex;
-        static std::string last_warned;
-        const std::lock_guard<std::mutex> lock(warn_mutex);
-        if (last_warned != env) {
-            last_warned = env;
-            std::fprintf(stderr,
-                         "superbnn: ignoring invalid SUPERBNN_THREADS "
-                         "value '%s' (want a positive integer); using "
-                         "hardware concurrency\n",
-                         env);
-        }
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    const std::size_t fallback =
+        hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    return envSize("SUPERBNN_THREADS", fallback, /*min_value=*/1);
 }
 
 ThreadPool::ThreadPool(std::size_t threads)

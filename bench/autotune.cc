@@ -7,11 +7,15 @@
  *
  *  - the candidates ranked by MEASURED energy per image,
  *  - the Pareto front of measured energy vs AME (the two competing
- *    objectives of the paper's Section 5.4 co-optimization), and
- *  - the cache hit/miss counters — candidates differing only in L
- *    share mapped models, candidates differing only in deltaIin share
- *    calibration counts, and repeated ResNet block geometries share
- *    both.
+ *    objectives of the paper's Section 5.4 co-optimization),
+ *  - the heterogeneous per-layer plan the explorer's coordinate
+ *    descent converges to from the best homogeneous seed, with the
+ *    measured-energy delta and the pruning stats (plans costed vs the
+ *    full per-layer cross-product), and
+ *  - the cache hit/miss counters, keyed (geometry) and named sections
+ *    reported separately — candidates differing only in L share mapped
+ *    models, candidates differing only in deltaIin share calibration
+ *    counts, and repeated ResNet block geometries share both.
  *
  * Everything emitted is deterministic (counts are value-independent;
  * no timing data), so CI can diff the artifact across thread counts
@@ -71,7 +75,14 @@ sweepWorkload(const aqfp::WorkloadSpec &workload,
         DesignSpaceExplorer::ranked(candidates, costs::measuredEnergy());
     const auto front = DesignSpaceExplorer::paretoFront(
         candidates, costs::measuredEnergy(), costs::ame());
-    const auto model_stats = explorer.modelCache()->stats();
+    // Heterogeneous stage: greedy per-layer coordinate descent from the
+    // best homogeneous candidate under measured energy. The probe's
+    // memoized counts make the re-measure nearly free.
+    const HeterogeneousExploreResult hetero =
+        explorer.exploreHeterogeneous(workload, space, options,
+                                      costs::measuredEnergy());
+    const auto model_stats = explorer.modelCache()->geometryStats();
+    const auto named_stats = explorer.modelCache()->namedStats();
     const auto counts_stats = explorer.probe().countsStats();
 
     if (!first)
@@ -97,17 +108,57 @@ sweepWorkload(const aqfp::WorkloadSpec &workload,
         emitCandidate(front[i], i + 1 == front.size());
     std::printf(" ],\n");
 
+    const double seed_energy = hetero.seed.measured->totalEnergyAj;
+    const double plan_energy = hetero.plan.measured.totalEnergyAj;
+    std::printf(" \"heterogeneous\":{\"seed\":{\"crossbarSize\":%zu,"
+                "\"window\":%zu,\"deltaIinUa\":%.17g,"
+                "\"measuredEnergyAj\":%.17g},\n",
+                hetero.seed.config.crossbarSize,
+                hetero.seed.config.bitstreamLength,
+                hetero.seed.config.deltaIinUa, seed_energy);
+    std::printf("  \"plan\":[\n");
+    for (std::size_t l = 0; l < hetero.plan.layers.size(); ++l) {
+        const aqfp::AcceleratorConfig &point = hetero.plan.layers[l];
+        std::printf("   {\"layer\":\"%s\",\"crossbarSize\":%zu,"
+                    "\"window\":%zu,\"deltaIinUa\":%.17g}%s\n",
+                    workload.layers[l].name.c_str(), point.crossbarSize,
+                    point.bitstreamLength, point.deltaIinUa,
+                    l + 1 < hetero.plan.layers.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"planMeasuredEnergyAj\":%.17g,"
+                "\"planAme\":%.17g,\"deltaAj\":%.17g,"
+                "\"deltaPercent\":%.17g,\n",
+                plan_energy, hetero.plan.ame, seed_energy - plan_energy,
+                seed_energy > 0.0
+                    ? 100.0 * (seed_energy - plan_energy) / seed_energy
+                    : 0.0);
+    std::printf("  \"evaluatedPlans\":%zu,\"crossProduct\":%.17g,"
+                "\"sweeps\":%zu},\n",
+                hetero.evaluatedPlans, hetero.crossProduct,
+                hetero.sweeps);
+
     std::printf(" \"cache\":{\"modelHits\":%llu,\"modelMisses\":%llu,"
+                "\"namedHits\":%llu,\"namedMisses\":%llu,"
                 "\"countsHits\":%llu,\"countsMisses\":%llu}}",
                 static_cast<unsigned long long>(model_stats.hits),
                 static_cast<unsigned long long>(model_stats.misses),
+                static_cast<unsigned long long>(named_stats.hits),
+                static_cast<unsigned long long>(named_stats.misses),
                 static_cast<unsigned long long>(counts_stats.hits),
                 static_cast<unsigned long long>(counts_stats.misses));
     std::fprintf(stderr, "swept %s: %zu candidates, pareto %zu, "
-                 "model %llu/%llu, counts %llu/%llu (hits/misses)\n",
+                 "hetero delta %.3g aJ over %zu plans "
+                 "(cross-product %.3g, %zu sweeps), "
+                 "model %llu/%llu, named %llu/%llu, counts %llu/%llu "
+                 "(hits/misses)\n",
                  workload.name.c_str(), candidates.size(), front.size(),
+                 seed_energy - plan_energy, hetero.evaluatedPlans,
+                 hetero.crossProduct, hetero.sweeps,
                  static_cast<unsigned long long>(model_stats.hits),
                  static_cast<unsigned long long>(model_stats.misses),
+                 static_cast<unsigned long long>(named_stats.hits),
+                 static_cast<unsigned long long>(named_stats.misses),
                  static_cast<unsigned long long>(counts_stats.hits),
                  static_cast<unsigned long long>(counts_stats.misses));
 }

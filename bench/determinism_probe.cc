@@ -8,14 +8,24 @@
  * scheduling- or arm-dependent RNG regression that in-process tests
  * structured around the same seeding scheme could miss.
  *
+ * A second section drives a heterogeneous core::HardwarePlan (every
+ * layer at a different Cs/L/deltaIin) through HardwareEvaluator's
+ * seeded batched path and prints scores plus the whole-chip ledger
+ * totals, so the per-layer-plan machinery sits under the same
+ * cross-thread, cross-arm byte diff as the raw executor.
+ *
  * Nothing timing- or environment-dependent may be printed here.
  */
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "aqfp/attenuation.h"
+#include "aqfp/ledger.h"
+#include "core/hardware_eval.h"
+#include "core/models.h"
 #include "crossbar/mapper.h"
 #include "crossbar/tile_executor.h"
 #include "tensor/random.h"
@@ -79,5 +89,46 @@ main()
     }
     std::printf("hidden-fnv %llu\n",
                 static_cast<unsigned long long>(fnv));
+
+    // Heterogeneous-plan section: an untrained (but fully seeded) MLP
+    // with every mapped cell at its own operating point, evaluated
+    // through the request-seeded batched path (bit-identical for any
+    // batch coalescing, thread count and SIMD arm by contract).
+    Rng model_rng(23);
+    const core::RandomizedMlp mlp(48, std::vector<std::size_t>{32, 24},
+                                  10, core::AqfpBehavior{16, 2.4, 0.0},
+                                  atten, model_rng);
+    const core::HardwarePlan plan(std::vector<core::LayerHardwareConfig>{
+        {8, 4, 1.6}, {16, 8, 2.4}, {36, 16, 3.2}});
+    core::HardwareEvaluator eval(atten, plan);
+    eval.mapMlp(mlp);
+
+    Rng input_rng(29);
+    std::vector<Tensor> samples;
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t b = 0; b < 4; ++b) {
+        Tensor s({1, 48});
+        for (std::size_t i = 0; i < s.size(); ++i)
+            s[i] = input_rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        samples.push_back(std::move(s));
+        seeds.push_back(0x9000 + 7 * b);
+    }
+    const auto plan_scores = eval.classScoresSeeded(samples, seeds);
+    std::uint64_t plan_fnv = 1469598103934665603ULL;
+    for (std::size_t b = 0; b < plan_scores.size(); ++b) {
+        std::printf("plan sample %zu scores:", b);
+        for (const double s : plan_scores[b]) {
+            std::printf(" %.17g", s);
+            std::uint64_t bits = 0;
+            static_assert(sizeof(bits) == sizeof(s));
+            std::memcpy(&bits, &s, sizeof(bits));
+            plan_fnv = (plan_fnv ^ bits) * 1099511628211ULL;
+        }
+        std::printf("\n");
+    }
+    std::printf("plan ledger %s\n",
+                aqfp::toJson(eval.totalLedgerCounts()).c_str());
+    std::printf("plan-fnv %llu\n",
+                static_cast<unsigned long long>(plan_fnv));
     return 0;
 }

@@ -2,24 +2,75 @@
  * @file
  * Monte-Carlo yield/accuracy surface as a CI JSON artifact (the
  * reliability companion of energy_table_json): a tiny trained MLP
- * swept over stuck-cell x gray-zone-temperature corners, 12 chip
- * instances per corner, reduced to per-corner accuracy statistics and
- * yield-at-floor curves with Wilson intervals.
+ * swept over stuck-cell x gray-zone-temperature corners, reduced to
+ * per-corner accuracy statistics and yield-at-floor curves with Wilson
+ * intervals.
  *
- * Prints the JSON to stdout. CI captures it as yield-surface.json and
- * diffs it byte-exactly across SUPERBNN_THREADS and SIMD arms, and
+ * With no flags this is the fixed 6-corner x 12-chip golden demo: CI
+ * captures the stdout JSON as yield-surface.json and diffs it
+ * byte-exactly across SUPERBNN_THREADS and SIMD arms, and
  * tests/test_scenario_sweep.cc pins it against
  * tests/golden/yield_surface.json.
+ *
+ * Command-line knobs scale the sweep without touching the golden path:
+ *
+ *   --chips N     chip instances per corner (demo default: 12)
+ *   --corners N   stuck-fraction corners, evenly spaced over [0, 0.25],
+ *                 crossed with the demo's 2 gray-zone scales
+ *                 (demo default: 3 fractions -> 6 corners)
+ *
+ * The effective values echo in the JSON header's chipsPerCorner and
+ * cornerCount fields, so scaled artifacts self-describe.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "yield_surface_util.h"
 
+namespace {
+
 int
-main()
+usage(const char *argv0)
 {
-    const std::string json = yield_surface_util::yieldSurfaceJson();
+    std::fprintf(stderr,
+                 "usage: %s [--chips N] [--corners N]\n"
+                 "  --chips N    chip instances per corner (default 12)\n"
+                 "  --corners N  stuck-fraction corners over [0, 0.25] "
+                 "(default 3)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t chips = 0;   // 0 = demo default
+    std::size_t corners = 0; // 0 = demo default
+    for (int i = 1; i < argc; ++i) {
+        const bool is_chips = std::strcmp(argv[i], "--chips") == 0;
+        const bool is_corners = std::strcmp(argv[i], "--corners") == 0;
+        if ((!is_chips && !is_corners) || i + 1 >= argc)
+            return usage(argv[0]);
+        char *end = nullptr;
+        const unsigned long long value =
+            std::strtoull(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || value == 0) {
+            std::fprintf(stderr, "%s: %s needs a positive integer\n",
+                         argv[0], is_chips ? "--chips" : "--corners");
+            return 2;
+        }
+        (is_chips ? chips : corners) = static_cast<std::size_t>(value);
+    }
+
+    // No knobs -> the exact demo path the golden file and CI diff pin.
+    const std::string json =
+        (chips == 0 && corners == 0)
+            ? yield_surface_util::yieldSurfaceJson()
+            : yield_surface_util::customYieldSurfaceJson(chips, corners);
     std::fwrite(json.data(), 1, json.size(), stdout);
     return 0;
 }

@@ -129,6 +129,54 @@ yieldSurfaceJson(std::size_t threads = 0)
     return core::toJson(runDemoSweep(threads)) + "\n";
 }
 
+/**
+ * The knob-driven sweep behind bench/yield_surface's --chips/--corners
+ * flags: the demo workload and options with @p chips_per_corner chip
+ * instances per corner, and (when @p stuck_corners > 0) the demo's
+ * stuck-fraction axis replaced by @p stuck_corners evenly spaced values
+ * over [0, 0.25] (1 corner = fault-free only), still crossed with the
+ * demo's two gray-zone temperature scales. Zero-valued knobs keep the
+ * demo defaults, so runCustomSweep(0, 0) is byte-identical to
+ * runDemoSweep(). The effective knob values self-describe in the JSON
+ * header's chipsPerCorner / cornerCount fields.
+ */
+inline core::SweepResult
+runCustomSweep(std::size_t chips_per_corner, std::size_t stuck_corners,
+               std::size_t threads = 0)
+{
+    const DemoWorkload &work = demoWorkload();
+    const core::HardwareConfig base{16, 8, 2.4, false, 0.25, 1, 8};
+    const auto cache = std::make_shared<crossbar::ProgrammedModelCache>(
+        aqfp::AttenuationModel());
+    const core::ScenarioSweep sweep(*work.mlp, work.dataset.test, base,
+                                    cache);
+    core::ScenarioGrid grid = demoGrid();
+    if (stuck_corners > 0) {
+        grid.stuckFractions.clear();
+        for (std::size_t i = 0; i < stuck_corners; ++i)
+            grid.stuckFractions.push_back(
+                stuck_corners == 1
+                    ? 0.0
+                    : 0.25 * static_cast<double>(i)
+                        / static_cast<double>(stuck_corners - 1));
+    }
+    core::SweepOptions opts = demoOptions();
+    if (chips_per_corner > 0)
+        opts.chipsPerCorner = chips_per_corner;
+    opts.threads = threads;
+    return sweep.run(grid, opts);
+}
+
+/** runCustomSweep as newline-terminated deterministic JSON. */
+inline std::string
+customYieldSurfaceJson(std::size_t chips_per_corner,
+                       std::size_t stuck_corners, std::size_t threads = 0)
+{
+    return core::toJson(runCustomSweep(chips_per_corner, stuck_corners,
+                                       threads))
+        + "\n";
+}
+
 } // namespace yield_surface_util
 
 #endif // SUPERBNN_BENCH_YIELD_SURFACE_UTIL_H

@@ -1,7 +1,9 @@
 #include "core/explorer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -208,6 +210,176 @@ DesignSpaceExplorer::explore(const aqfp::WorkloadSpec &workload,
             cand.accuracy = options.accuracy(cand.config);
 
     return feasible;
+}
+
+HardwarePlan
+PlanCandidate::toHardwarePlan() const
+{
+    std::vector<LayerHardwareConfig> entries;
+    entries.reserve(layers.size());
+    for (const aqfp::AcceleratorConfig &point : layers)
+        entries.push_back(LayerHardwareConfig{
+            point.crossbarSize, point.bitstreamLength, point.deltaIinUa});
+    return HardwarePlan(std::move(entries));
+}
+
+HeterogeneousExploreResult
+DesignSpaceExplorer::exploreHeterogeneous(const aqfp::WorkloadSpec &workload,
+                                          const CoOptSpace &space,
+                                          const ExploreOptions &options,
+                                          const CostFn &cost) const
+{
+    workload.validate();
+
+    // Homogeneous seed stage, with measurement forced on so the plan
+    // shims (which always carry measured reports) stay comparable to
+    // the seed under measured costs. No accuracy callback: plans have
+    // no single config to hand one (see the header contract).
+    ExploreOptions seed_options = options;
+    seed_options.measure = true;
+    seed_options.accuracy = nullptr;
+    const std::vector<CoOptCandidate> homogeneous =
+        explore(workload, space, seed_options);
+
+    HeterogeneousExploreResult result;
+    result.seed = best(homogeneous, cost); // throws on empty
+
+    const std::vector<aqfp::AcceleratorConfig> grid = gridConfigs(space);
+    const std::size_t layer_count = workload.layers.size();
+    const std::size_t max_act_bits = workload.maxActivationBits();
+    const std::size_t total_ops = workload.totalOps();
+    result.crossProduct = std::pow(static_cast<double>(grid.size()),
+                                   static_cast<double>(layer_count));
+
+    // Per-(layer, grid point) memo of the analytic and measured layer
+    // reports, and a per-point AME memo: a descent revisits the same
+    // (layer, point) pairs constantly, and the probe's replay is the
+    // expensive part. Sequential descent — no synchronization needed.
+    struct LayerPoint
+    {
+        aqfp::EnergyReport analytic;
+        aqfp::EnergyReport measured;
+    };
+    std::vector<std::vector<std::optional<LayerPoint>>> memo(
+        layer_count,
+        std::vector<std::optional<LayerPoint>>(grid.size()));
+    std::vector<std::optional<double>> ame_memo(grid.size());
+
+    const auto layerPoint = [&](std::size_t l,
+                                std::size_t g) -> const LayerPoint & {
+        std::optional<LayerPoint> &slot = memo[l][g];
+        if (!slot) {
+            LayerPoint p;
+            p.analytic = energy.evaluateLayer(workload.layers[l], grid[g],
+                                              max_act_bits);
+            p.measured = probe_.measureLayer(workload.layers[l], grid[g],
+                                             max_act_bits);
+            slot = std::move(p);
+        }
+        return *slot;
+    };
+    const auto amePoint = [&](std::size_t g) {
+        if (!ame_memo[g])
+            ame_memo[g] = ameAnalyzer.ame(
+                static_cast<double>(grid[g].crossbarSize),
+                grid[g].deltaIinUa);
+        return *ame_memo[g];
+    };
+
+    // selection (one grid index per layer) -> assembled candidate. The
+    // combined reports use the first selected point as the
+    // representative config: combineLayerReports reads only its
+    // frequency (shared by the whole grid), so the choice is inert.
+    const auto assemble = [&](const std::vector<std::size_t> &sel) {
+        PlanCandidate pc;
+        pc.layers.reserve(layer_count);
+        std::vector<aqfp::EnergyReport> analytic, measured;
+        analytic.reserve(layer_count);
+        measured.reserve(layer_count);
+        double ame_sum = 0.0;
+        for (std::size_t l = 0; l < layer_count; ++l) {
+            const LayerPoint &p = layerPoint(l, sel[l]);
+            pc.layers.push_back(grid[sel[l]]);
+            analytic.push_back(p.analytic);
+            measured.push_back(p.measured);
+            ame_sum += amePoint(sel[l])
+                * (static_cast<double>(workload.layers[l].ops())
+                   / static_cast<double>(total_ops));
+        }
+        pc.energy = energy.combineLayerReports(analytic, pc.layers[0],
+                                               total_ops, max_act_bits);
+        pc.measured = energy.combineLayerReports(measured, pc.layers[0],
+                                                 total_ops, max_act_bits);
+        pc.ame = ame_sum;
+        return pc;
+    };
+    const auto costOf = [&](const PlanCandidate &pc) {
+        CoOptCandidate shim;
+        shim.config = pc.layers.front();
+        shim.energy = pc.energy;
+        shim.ame = pc.ame;
+        shim.measured = pc.measured;
+        return cost(shim);
+    };
+
+    // Seed selection: every layer at the seed's grid point.
+    std::size_t seed_index = grid.size();
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+        if (grid[g].crossbarSize == result.seed.config.crossbarSize
+            && grid[g].bitstreamLength
+                == result.seed.config.bitstreamLength
+            && grid[g].deltaIinUa == result.seed.config.deltaIinUa) {
+            seed_index = g;
+            break;
+        }
+    }
+    assert(seed_index < grid.size() && "seed came from this grid");
+
+    std::vector<std::size_t> sel(layer_count, seed_index);
+    PlanCandidate current = assemble(sel);
+    current.cost = costOf(current);
+    result.evaluatedPlans = 1;
+    result.seedCost = current.cost;
+
+    // Greedy coordinate descent: re-pick each layer's point holding the
+    // others fixed; accept strict improvements only (ties keep the
+    // incumbent, so convergence and the final plan are deterministic).
+    // Per-layer contributions are independent under the combine fold,
+    // so one sweep finds each layer's argmin and the second confirms —
+    // the cap is a guard, not the expected exit.
+    double best_cost = current.cost;
+    bool improved = true;
+    while (improved && result.sweeps < layer_count + 1) {
+        improved = false;
+        ++result.sweeps;
+        for (std::size_t l = 0; l < layer_count; ++l) {
+            for (std::size_t g = 0; g < grid.size(); ++g) {
+                if (g == sel[l])
+                    continue;
+                std::vector<std::size_t> trial = sel;
+                trial[l] = g;
+                PlanCandidate pc = assemble(trial);
+                // Stage-2 feasibility, applied to the combined plan.
+                if (pc.energy.topsPerWatt < space.minTopsPerWatt)
+                    continue;
+                if (space.maxTotalJj != 0
+                    && pc.energy.totalJj > space.maxTotalJj)
+                    continue;
+                ++result.evaluatedPlans;
+                const double trial_cost = costOf(pc);
+                if (trial_cost < best_cost) {
+                    best_cost = trial_cost;
+                    sel = std::move(trial);
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    result.plan = assemble(sel);
+    result.plan.cost = best_cost;
+    result.planCost = best_cost;
+    return result;
 }
 
 std::vector<CoOptCandidate>

@@ -40,6 +40,7 @@
 
 #include "aqfp/measured_cost.h"
 #include "core/cooptimizer.h"
+#include "core/hardware_plan.h"
 #include "crossbar/model_cache.h"
 
 namespace superbnn::core {
@@ -103,6 +104,58 @@ struct ExploreOptions
     std::size_t threads = 0;
 };
 
+/**
+ * One per-layer-plan candidate of the heterogeneous search stage: a
+ * grid operating point per workload layer plus the combined reports a
+ * CostFn ranks it by. The combined analytic/measured reports are
+ * per-layer evaluateLayer/measureLayer results folded through
+ * EnergyModel::combineLayerReports — the same fold evaluate() and
+ * measureWorkload() use, so a uniform plan's reports match the
+ * homogeneous candidate's bit-exactly. `ame` is the ops-weighted mean
+ * of the per-point AME (weight = layer ops / workload ops).
+ */
+struct PlanCandidate
+{
+    /// One operating point per workload layer, in workload order (the
+    /// classifier head last when the workload lists it last).
+    std::vector<aqfp::AcceleratorConfig> layers;
+    aqfp::EnergyReport energy;   ///< analytic, combined across layers
+    aqfp::EnergyReport measured; ///< ledger-measured, combined
+    double ame = 0.0;            ///< ops-weighted mean mismatch error
+    double cost = 0.0;           ///< value under the ranking CostFn
+
+    /**
+     * The executable core::HardwarePlan of this candidate: one
+     * (Cs, L, deltaIin) entry per layer, default execution knobs.
+     * Feed it to HardwareEvaluator / ScenarioSweep to run the plan.
+     */
+    HardwarePlan toHardwarePlan() const;
+};
+
+/**
+ * Outcome of DesignSpaceExplorer::exploreHeterogeneous: the best
+ * homogeneous candidate (the descent seed), the per-layer plan the
+ * coordinate descent converged to, both costs, and the pruning
+ * statistics (plans actually costed vs the full cross-product).
+ */
+struct HeterogeneousExploreResult
+{
+    CoOptCandidate seed; ///< best homogeneous candidate (cost filled)
+    PlanCandidate plan;  ///< coordinate-descent winner (cost filled)
+    /// The seed's cost through the plan-shim pathway (bit-identical to
+    /// seed.cost for pure energy costs; the descent's baseline, so
+    /// planCost <= seedCost always holds).
+    double seedCost = 0.0;
+    double planCost = 0.0;
+    /// Plans actually assembled and costed (descent visits
+    /// sweeps * layers * (gridPoints - 1) + 1 at most).
+    std::size_t evaluatedPlans = 0;
+    /// gridPoints ^ layers — what exhaustive enumeration would cost
+    /// (as a double: it overflows integers for real workloads).
+    double crossProduct = 0.0;
+    std::size_t sweeps = 0; ///< descent sweeps until convergence
+};
+
 /** Cost-function-driven explorer over a CoOptSpace. */
 class DesignSpaceExplorer
 {
@@ -138,6 +191,41 @@ class DesignSpaceExplorer
     std::vector<CoOptCandidate>
     explore(const aqfp::WorkloadSpec &workload, const CoOptSpace &space,
             const ExploreOptions &options = {}) const;
+
+    /**
+     * Heterogeneous search stage: greedy per-layer coordinate descent
+     * over the CoOptSpace grid, seeded from the best homogeneous
+     * candidate under @p cost (the full cross-product of per-layer
+     * choices explodes combinatorially — the result reports
+     * evaluatedPlans vs crossProduct so callers can log the pruning).
+     *
+     * Stage order: explore() runs with measurement forced ON (plan
+     * shims always carry measured reports, keeping homogeneous and
+     * heterogeneous candidates comparable under measured costs), the
+     * best homogeneous candidate seeds a uniform per-layer selection,
+     * and each sweep re-picks every layer's grid point holding the
+     * others fixed, accepting strict improvements only (ties keep the
+     * earlier selection, so convergence is deterministic). Plans whose
+     * combined analytic report violates minTopsPerWatt / maxTotalJj
+     * are skipped — the same stage-2 feasibility rules, applied to the
+     * combined plan.
+     *
+     * Because acceptance starts from the seed's own shim cost,
+     * planCost <= seedCost structurally — the descent can only improve
+     * on the homogeneous optimum, never regress.
+     *
+     * Accuracy-based costs are unsupported here (a per-layer plan has
+     * no single AcceleratorConfig to hand an AccuracyFn): the shim
+     * carries no accuracy, so costs::accuracyLoss throws.
+     *
+     * @throws NoFeasibleCandidateError when the homogeneous stage
+     *         excludes every candidate
+     */
+    HeterogeneousExploreResult
+    exploreHeterogeneous(const aqfp::WorkloadSpec &workload,
+                         const CoOptSpace &space,
+                         const ExploreOptions &options,
+                         const CostFn &cost) const;
 
     /**
      * Stage 4: candidates stably sorted by ascending cost (ties keep

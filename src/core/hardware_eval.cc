@@ -62,10 +62,44 @@ faultMaskSeed(std::uint64_t master_seed, std::uint64_t chip_index,
 
 HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
                                      HardwareConfig config)
-    : atten(std::move(attenuation)), cfg(config),
-      executor(config.window, config.exactApc, config.dropFraction,
-               config.threads)
+    : HardwareEvaluator(std::move(attenuation), HardwarePlan(config))
 {
+}
+
+HardwareEvaluator::HardwareEvaluator(aqfp::AttenuationModel attenuation,
+                                     HardwarePlan plan)
+    : atten(std::move(attenuation)), plan_(std::move(plan)),
+      cfg(plan_.representative())
+{
+}
+
+void
+HardwareEvaluator::resolvePlan(std::size_t cell_count)
+{
+    resolved_ = plan_.resolve(cell_count);
+    // One executor per DISTINCT window, first-occurrence order: a
+    // uniform plan builds exactly one with the legacy constructor
+    // arguments, so its forward passes are bit-identical to the old
+    // single-executor member.
+    executors_.clear();
+    execIndex_.assign(resolved_.size(), 0);
+    std::vector<std::size_t> windows;
+    for (std::size_t i = 0; i < resolved_.size(); ++i) {
+        const std::size_t w = resolved_[i].window;
+        std::size_t slot = windows.size();
+        for (std::size_t j = 0; j < windows.size(); ++j) {
+            if (windows[j] == w) {
+                slot = j;
+                break;
+            }
+        }
+        if (slot == windows.size()) {
+            windows.push_back(w);
+            executors_.emplace_back(w, plan_.exactApc, plan_.dropFraction,
+                                    plan_.threads);
+        }
+        execIndex_[i] = slot;
+    }
 }
 
 void
@@ -81,28 +115,33 @@ HardwareEvaluator::mapMlp(const RandomizedMlp &model,
 {
     kind = Kind::Mlp;
     mapped.clear();
-    const crossbar::CrossbarMapper mapper(cfg.crossbarSize, atten,
-                                          cfg.deltaIinUa);
-    // With a cache, each pristine thresholded layer is built at most
-    // once per (tag, geometry) and this evaluator takes a private
-    // copy; the build is deterministic, so cached and direct maps are
-    // bit-identical.
-    auto mapLayer = [&](const std::string &name,
+    resolvePlan(model.cells().size() + 1);
+    // Each cell is mapped at ITS OWN plan entry's (Cs, deltaIin). With
+    // a cache, each pristine thresholded layer is built at most once
+    // per (tag, layer, operating point) and this evaluator takes a
+    // private copy; the build is deterministic, so cached and direct
+    // maps are bit-identical — and because the key already carries the
+    // per-layer point, plans that differ in only one layer share every
+    // other layer's cached build.
+    auto mapLayer = [&](std::size_t li, const std::string &name,
                         const std::function<crossbar::MappedLayer()>
                             &build) {
         if (!cache)
             return build();
         return crossbar::MappedLayer(*cache->named(
-            modelCacheKey(tag, name, cfg.crossbarSize, cfg.deltaIinUa,
-                          atten.fit()),
+            modelCacheKey(tag, name, resolved_[li].crossbarSize,
+                          resolved_[li].deltaIinUa, atten.fit()),
             build));
     };
     std::size_t li = 0;
     for (const auto &cell : model.cells()) {
+        const crossbar::CrossbarMapper mapper(resolved_[li].crossbarSize,
+                                              atten,
+                                              resolved_[li].deltaIinUa);
         MappedCell mc;
         const FoldedBn folded =
             foldBatchNorm(*cell.bn, cell.linear->alpha().value);
-        mc.layer = mapLayer("fc" + std::to_string(li + 1), [&]() {
+        mc.layer = mapLayer(li, "fc" + std::to_string(li + 1), [&]() {
             crossbar::MappedLayer layer =
                 mapper.map(cell.linear->signedWeights());
             crossbar::CrossbarMapper::setThresholds(layer, folded.vth);
@@ -113,8 +152,10 @@ HardwareEvaluator::mapMlp(const RandomizedMlp &model,
         ++li;
     }
     const auto &head = model.head();
+    const crossbar::CrossbarMapper headMapper(
+        resolved_[li].crossbarSize, atten, resolved_[li].deltaIinUa);
     headMapped = mapLayer(
-        "head", [&]() { return mapper.map(head.signedWeights()); });
+        li, "head", [&]() { return headMapper.map(head.signedWeights()); });
     headAlpha.assign(head.alpha().value.data(),
                      head.alpha().value.data()
                          + head.alpha().value.size());
@@ -126,11 +167,14 @@ HardwareEvaluator::mapCnn(const RandomizedCnn &model)
 {
     kind = Kind::Cnn;
     mapped.clear();
-    const crossbar::CrossbarMapper mapper(cfg.crossbarSize, atten,
-                                          cfg.deltaIinUa);
+    resolvePlan(model.cells().size() + 1);
     std::size_t side = model.config().inputSide;
     std::size_t in_ch = model.config().inputChannels;
     for (const auto &cell : model.cells()) {
+        const std::size_t li = mapped.size();
+        const crossbar::CrossbarMapper mapper(resolved_[li].crossbarSize,
+                                              atten,
+                                              resolved_[li].deltaIinUa);
         MappedCell mc;
         mc.layer = mapper.map(cell.conv->signedWeightMatrix());
         const FoldedBn folded =
@@ -147,7 +191,10 @@ HardwareEvaluator::mapCnn(const RandomizedCnn &model)
             side /= 2;
     }
     const auto &head = model.head();
-    headMapped = mapper.map(head.signedWeights());
+    const crossbar::CrossbarMapper headMapper(
+        resolved_[mapped.size()].crossbarSize, atten,
+        resolved_[mapped.size()].deltaIinUa);
+    headMapped = headMapper.map(head.signedWeights());
     headAlpha.assign(head.alpha().value.data(),
                      head.alpha().value.data()
                          + head.alpha().value.size());
@@ -202,8 +249,6 @@ HardwareEvaluator::energyReports(double frequency_ghz) const
     const std::uint64_t images = imagesObserved();
 
     const aqfp::EnergyModel model;
-    const aqfp::AcceleratorConfig acfg{cfg.crossbarSize, cfg.window,
-                                       frequency_ghz, cfg.deltaIinUa};
     // The analytic memory term sizes the buffer for the widest
     // activation of the whole mapped network; price the ledgers
     // against the same hardware.
@@ -218,6 +263,12 @@ HardwareEvaluator::energyReports(double frequency_ghz) const
         const aqfp::LayerSpec &spec = mapped_spec.layers[i];
         const crossbar::MappedLayer &layer =
             i == mapped.size() ? headMapped : mapped[i].layer;
+        // Each layer is priced at ITS OWN operating point (uniform
+        // plans resolve every entry to the same point, reproducing the
+        // legacy single-acfg path bit-exactly).
+        const aqfp::AcceleratorConfig acfg{
+            resolved_[i].crossbarSize, resolved_[i].window, frequency_ghz,
+            resolved_[i].deltaIinUa};
 
         LayerEnergyReport rep;
         rep.name = spec.name;
@@ -297,8 +348,10 @@ HardwareEvaluator::runMlpBatch(
     std::vector<std::vector<int>> acts = inputs;
     for (std::size_t i = 0; i < mapped.size(); ++i) {
         const MappedCell &mc = mapped[i];
-        std::vector<std::vector<int>> next = executor.forwardSeeded(
-            mc.layer, acts, roots.draw(samples, 1), &ledgers[i]);
+        std::vector<std::vector<int>> next =
+            executorFor(i).forwardSeeded(mc.layer, acts,
+                                         roots.draw(samples, 1),
+                                         &ledgers[i]);
         for (auto &sample : next)
             for (std::size_t j = 0; j < sample.size(); ++j)
                 if (mc.flip[j])
@@ -306,9 +359,10 @@ HardwareEvaluator::runMlpBatch(
         acts = std::move(next);
     }
     std::vector<std::vector<double>> scores =
-        executor.forwardDecodedSeeded(headMapped, acts,
-                                      roots.draw(samples, 1),
-                                      &ledgers.back());
+        executorFor(mapped.size())
+            .forwardDecodedSeeded(headMapped, acts,
+                                  roots.draw(samples, 1),
+                                  &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];
@@ -367,9 +421,9 @@ HardwareEvaluator::runCnnBatch(
         // singleton run consumes, which is what keeps seeded batches
         // bit-identical to singles.
         const std::vector<std::vector<int>> outs =
-            executor.forwardSeeded(mc.layer, patches,
-                                   roots.draw(samples, positions),
-                                   &ledgers[li]);
+            executorFor(li).forwardSeeded(mc.layer, patches,
+                                          roots.draw(samples, positions),
+                                          &ledgers[li]);
         std::vector<std::vector<int>> conv_out(
             samples, std::vector<int>(out_ch * side * side));
         for (std::size_t b = 0; b < samples; ++b) {
@@ -413,9 +467,10 @@ HardwareEvaluator::runCnnBatch(
         }
     }
     std::vector<std::vector<double>> scores =
-        executor.forwardDecodedSeeded(headMapped, acts,
-                                      roots.draw(samples, 1),
-                                      &ledgers.back());
+        executorFor(mapped.size())
+            .forwardDecodedSeeded(headMapped, acts,
+                                  roots.draw(samples, 1),
+                                  &ledgers.back());
     for (auto &sample : scores)
         for (std::size_t j = 0; j < sample.size(); ++j)
             sample[j] *= headAlpha[j];

@@ -21,6 +21,7 @@
 #include "aqfp/energy.h"
 #include "aqfp/ledger.h"
 #include "core/bn_matching.h"
+#include "core/hardware_plan.h"
 #include "core/models.h"
 #include "crossbar/mapper.h"
 #include "crossbar/model_cache.h"
@@ -41,22 +42,10 @@ std::uint64_t faultMaskSeed(std::uint64_t master_seed,
                             std::uint64_t chip_index, std::size_t layer,
                             std::size_t rt, std::size_t ct);
 
-/** Hardware simulation configuration. */
-struct HardwareConfig
-{
-    std::size_t crossbarSize = 16;   ///< Cs
-    std::size_t window = 16;         ///< SC bitstream length L
-    double deltaIinUa = 2.4;         ///< neuron gray-zone width
-    bool exactApc = false;           ///< ablation: exact parallel counter
-    double dropFraction = 0.25;      ///< APC approximation level
-    /// Executor concurrency: 0 (default) shares the process-wide
-    /// util::ExecutorPool (sized from SUPERBNN_THREADS / hardware
-    /// threads when that pool is first created), 1 = sequential,
-    /// N > 1 = a private N-thread pool.
-    std::size_t threads = 0;
-    /// Samples evaluated per batched executor pass in evaluate().
-    std::size_t evalBatch = 8;
-};
+// HardwareConfig (the legacy single-point configuration) and the
+// per-layer HardwarePlan live in core/hardware_plan.h, included above
+// so every historical `#include "core/hardware_eval.h"` site still
+// sees HardwareConfig.
 
 /**
  * Ledger-priced, reconciled energy accounting for one mapped layer:
@@ -96,7 +85,25 @@ struct LayerEnergyReport
 class HardwareEvaluator
 {
   public:
+    /**
+     * Uniform-plan evaluator: every layer runs at @p config's
+     * operating point (the legacy API, bit-identical to the plan
+     * constructor with HardwarePlan(config)).
+     * @throws std::invalid_argument via HardwareConfig::validate
+     */
     HardwareEvaluator(aqfp::AttenuationModel atten, HardwareConfig config);
+
+    /**
+     * Per-layer plan evaluator: each mapped cell i (hidden layers in
+     * network order, head last) is mapped at plan entry i's (Cs,
+     * deltaIin) and executed at its window L_i, with ledger draw
+     * accounting following suit (Cs_i * L_i raw draws per tile
+     * observation). A uniform (single-entry) plan broadcasts; a
+     * multi-entry plan must match the mapped model's cell count
+     * (mapMlp/mapCnn throw via HardwarePlan::resolve otherwise).
+     * @throws std::invalid_argument via HardwarePlan::validate
+     */
+    HardwareEvaluator(aqfp::AttenuationModel atten, HardwarePlan plan);
 
     /** Map a trained MLP (reads weights, folds BN into thresholds). */
     void mapMlp(const RandomizedMlp &model);
@@ -261,7 +268,25 @@ class HardwareEvaluator
      */
     aqfp::LedgerCounts totalLedgerCounts() const;
 
+    /**
+     * Legacy single-config view (HardwarePlan::representative of the
+     * active plan): exact for uniform plans, first-entry representative
+     * for heterogeneous ones.
+     */
     const HardwareConfig &config() const { return cfg; }
+
+    /** The per-layer plan this evaluator runs (uniform or not). */
+    const HardwarePlan &plan() const { return plan_; }
+
+    /**
+     * The plan resolved against the mapped model: one entry per mapped
+     * cell (hidden layers in order, head last). Empty before
+     * mapMlp/mapCnn.
+     */
+    const std::vector<LayerHardwareConfig> &resolvedLayers() const
+    {
+        return resolved_;
+    }
 
   private:
     struct MappedCell
@@ -278,8 +303,16 @@ class HardwareEvaluator
     enum class Kind { None, Mlp, Cnn };
 
     aqfp::AttenuationModel atten;
-    HardwareConfig cfg;
-    crossbar::TileExecutor executor;
+    HardwarePlan plan_;
+    HardwareConfig cfg; ///< plan_.representative(), the legacy view
+    /// plan_ resolved against the mapped model (one entry per cell,
+    /// head last); filled by mapMlp/mapCnn.
+    std::vector<LayerHardwareConfig> resolved_;
+    /// One TileExecutor per DISTINCT window among resolved_ (a uniform
+    /// plan builds exactly one, with the same arguments as the legacy
+    /// path); execIndex_[i] is cell i's executor.
+    std::vector<crossbar::TileExecutor> executors_;
+    std::vector<std::size_t> execIndex_;
     Kind kind = Kind::None;
     std::vector<MappedCell> mapped;
     crossbar::MappedLayer headMapped;
@@ -293,6 +326,17 @@ class HardwareEvaluator
 
     /** Allocate one fresh ledger per mapped layer + head. */
     void initLedgers();
+    /**
+     * Resolve plan_ against @p cell_count cells and (re)build the
+     * per-distinct-window executors + cell->executor index.
+     * @throws std::invalid_argument via HardwarePlan::resolve
+     */
+    void resolvePlan(std::size_t cell_count);
+    /** The executor running mapped cell @p i (head = mapped.size()). */
+    const crossbar::TileExecutor &executorFor(std::size_t i) const
+    {
+        return executors_[execIndex_[i]];
+    }
     /** LayerSpec mirroring mapped layer @p i (head = mapped.size()). */
     aqfp::LayerSpec layerSpec(std::size_t i) const;
 

@@ -124,9 +124,19 @@ ScenarioSweep::ScenarioSweep(
     const RandomizedMlp &model, const data::Dataset &dataset,
     HardwareConfig base_config,
     std::shared_ptr<crossbar::ProgrammedModelCache> model_cache)
-    : model_(&model), dataset_(&dataset), base(base_config),
+    : ScenarioSweep(model, dataset, HardwarePlan(base_config),
+                    std::move(model_cache))
+{
+}
+
+ScenarioSweep::ScenarioSweep(
+    const RandomizedMlp &model, const data::Dataset &dataset,
+    HardwarePlan base_plan,
+    std::shared_ptr<crossbar::ProgrammedModelCache> model_cache)
+    : model_(&model), dataset_(&dataset), base(std::move(base_plan)),
       cache(std::move(model_cache))
 {
+    base.validate();
 }
 
 std::vector<ScenarioCorner>
@@ -135,9 +145,12 @@ ScenarioSweep::corners(const ScenarioGrid &grid) const
     grid.validate();
     // Empty axes default to the base operating point so the minimal
     // grid is the nominal corner.
+    const bool config_from_grid = !grid.configs.empty();
     std::vector<ScenarioConfig> configs = grid.configs;
-    if (configs.empty())
-        configs.push_back(ScenarioConfig{base.crossbarSize, base.window});
+    if (configs.empty()) {
+        const HardwareConfig repr = base.representative();
+        configs.push_back(ScenarioConfig{repr.crossbarSize, repr.window});
+    }
     std::vector<aqfp::PowerLawFit> fits = grid.attenuationFits;
     if (fits.empty())
         fits.push_back(cache ? cache->attenuation().fit()
@@ -157,6 +170,7 @@ ScenarioSweep::corners(const ScenarioGrid &grid) const
                     corner.grayZoneScale = gz;
                     corner.fit = fit;
                     corner.config = config;
+                    corner.configFromGrid = config_from_grid;
                     out.push_back(corner);
                 }
             }
@@ -180,15 +194,39 @@ ScenarioSweep::chipEvalSeed(std::uint64_t master_seed, std::size_t corner,
 HardwareConfig
 ScenarioSweep::cornerConfig(const ScenarioCorner &corner) const
 {
-    HardwareConfig cfg = base;
+    HardwareConfig cfg = base.representative();
     cfg.crossbarSize = corner.config.crossbarSize;
     cfg.window = corner.config.window;
     // Temperature corner: the gray zone widens multiplicatively.
-    cfg.deltaIinUa = base.deltaIinUa * corner.grayZoneScale;
+    cfg.deltaIinUa = base.representative().deltaIinUa
+        * corner.grayZoneScale;
     // One chip = one executor task; the chip itself runs sequentially
     // so the sweep's parallelism lives entirely in the chip fan-out.
     cfg.threads = 1;
     return cfg;
+}
+
+HardwarePlan
+ScenarioSweep::cornerPlan(const ScenarioCorner &corner) const
+{
+    HardwarePlan plan = base;
+    for (LayerHardwareConfig &entry : plan.layers) {
+        // An explicit grid.configs axis is a deliberate uniform
+        // (Cs, L) override; a defaulted axis leaves a heterogeneous
+        // base plan's per-layer geometry intact. For a uniform base
+        // both branches write the same values as cornerConfig().
+        if (corner.configFromGrid || plan.uniform()) {
+            entry.crossbarSize = corner.config.crossbarSize;
+            entry.window = corner.config.window;
+        }
+        // Temperature corner: every layer's gray zone widens
+        // multiplicatively.
+        entry.deltaIinUa *= corner.grayZoneScale;
+    }
+    // One chip = one executor task; the chip itself runs sequentially
+    // so the sweep's parallelism lives entirely in the chip fan-out.
+    plan.threads = 1;
+    return plan;
 }
 
 ChipResult
@@ -196,8 +234,8 @@ ScenarioSweep::runChip(const ScenarioCorner &corner,
                        const SweepOptions &options,
                        std::uint64_t chip) const
 {
-    const HardwareConfig cfg = cornerConfig(corner);
-    HardwareEvaluator eval(aqfp::AttenuationModel(corner.fit), cfg);
+    HardwareEvaluator eval(aqfp::AttenuationModel(corner.fit),
+                           cornerPlan(corner));
     eval.mapMlp(*model_, cache.get(), options.modelTag);
 
     ChipResult result;
@@ -305,9 +343,10 @@ toJson(const SweepResult &result)
     std::snprintf(buf, sizeof buf,
                   "{\"schema\":\"superbnn-yield-surface-v1\","
                   "\"masterSeed\":%" PRIu64 ",\"chipsPerCorner\":%zu"
-                  ",\"evalSamples\":%zu,\"corners\":[",
+                  ",\"cornerCount\":%zu,\"evalSamples\":%zu,"
+                  "\"corners\":[",
                   result.masterSeed, result.chipsPerCorner,
-                  result.evalSamples);
+                  result.corners.size(), result.evalSamples);
     out += buf;
     for (std::size_t i = 0; i < result.corners.size(); ++i) {
         const CornerResult &cr = result.corners[i];

@@ -82,6 +82,12 @@ struct ScenarioCorner
     double grayZoneScale = 1.0;
     aqfp::PowerLawFit fit;
     ScenarioConfig config;
+    /// True when `config` came from an explicit grid.configs axis (as
+    /// opposed to defaulting to the sweep base's representative point).
+    /// A defaulted config never overrides a heterogeneous base plan's
+    /// per-layer geometry; an explicit one always does (the grid axis
+    /// is a deliberate uniform override).
+    bool configFromGrid = true;
 };
 
 /** Monte-Carlo population and reduction options. */
@@ -186,9 +192,28 @@ std::string toJson(const SweepResult &result);
 class ScenarioSweep
 {
   public:
+    /**
+     * Uniform-base sweep (the legacy API): equivalent to the plan
+     * constructor with HardwarePlan(base), bit-identical results.
+     * @throws std::invalid_argument via HardwareConfig::validate
+     */
     ScenarioSweep(
         const RandomizedMlp &model, const data::Dataset &dataset,
         HardwareConfig base,
+        std::shared_ptr<crossbar::ProgrammedModelCache> cache = nullptr);
+
+    /**
+     * Per-layer-plan sweep: every chip of every corner is evaluated
+     * under @p base's per-layer operating points, with the corner's
+     * gray-zone temperature scale applied multiplicatively to every
+     * layer's deltaIin. An explicit grid.configs axis still overrides
+     * (Cs, L) uniformly across layers; leave it empty to sweep the
+     * heterogeneous plan's own geometry.
+     * @throws std::invalid_argument via HardwarePlan::validate
+     */
+    ScenarioSweep(
+        const RandomizedMlp &model, const data::Dataset &dataset,
+        HardwarePlan base,
         std::shared_ptr<crossbar::ProgrammedModelCache> cache = nullptr);
 
     /**
@@ -212,13 +237,28 @@ class ScenarioSweep
                                       std::size_t corner,
                                       std::uint64_t chip);
 
-    /** The HardwareConfig a corner evaluates under. */
+    /**
+     * The legacy single-config view of a corner's operating point
+     * (derived from the base plan's representative). For a
+     * heterogeneous base plan use cornerPlan() — this view carries only
+     * the first layer's point.
+     */
     HardwareConfig cornerConfig(const ScenarioCorner &corner) const;
+
+    /**
+     * The HardwarePlan a corner's chips evaluate under: the base
+     * plan's layers with the corner's gray-zone scale folded into
+     * every entry's deltaIin, (Cs, L) overridden uniformly when the
+     * corner's config came from an explicit grid axis, and threads
+     * pinned to 1 (one chip = one executor task). For a uniform base
+     * this resolves to exactly cornerConfig(corner) broadcast.
+     */
+    HardwarePlan cornerPlan(const ScenarioCorner &corner) const;
 
   private:
     const RandomizedMlp *model_;
     const data::Dataset *dataset_;
-    HardwareConfig base;
+    HardwarePlan base;
     std::shared_ptr<crossbar::ProgrammedModelCache> cache;
 
     ChipResult runChip(const ScenarioCorner &corner,

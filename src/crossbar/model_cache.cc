@@ -30,10 +30,10 @@ ProgrammedModelCache::geometry(std::size_t fan_in, std::size_t fan_out,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries.find(key);
     if (it != entries.end()) {
-        ++stats_.hits;
+        ++geometryStats_.hits;
         return it->second;
     }
-    ++stats_.misses;
+    ++geometryStats_.misses;
     // Built under the lock: a second requester of the same geometry
     // waits instead of mapping a duplicate, so the miss count equals
     // the number of models ever built.
@@ -50,10 +50,10 @@ ProgrammedModelCache::named(const std::string &key,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = namedEntries.find(key);
     if (it != namedEntries.end()) {
-        ++stats_.hits;
+        ++namedStats_.hits;
         return it->second;
     }
-    ++stats_.misses;
+    ++namedStats_.misses;
     auto layer = std::make_shared<const MappedLayer>(build());
     namedEntries.emplace(key, layer);
     return layer;
@@ -63,7 +63,22 @@ ProgrammedModelCache::Stats
 ProgrammedModelCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    return Stats{geometryStats_.hits + namedStats_.hits,
+                 geometryStats_.misses + namedStats_.misses};
+}
+
+ProgrammedModelCache::Stats
+ProgrammedModelCache::geometryStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return geometryStats_;
+}
+
+ProgrammedModelCache::Stats
+ProgrammedModelCache::namedStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return namedStats_;
 }
 
 std::size_t
@@ -79,7 +94,8 @@ ProgrammedModelCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries.clear();
     namedEntries.clear();
-    stats_ = Stats{};
+    geometryStats_ = Stats{};
+    namedStats_ = Stats{};
 }
 
 } // namespace superbnn::crossbar

@@ -81,8 +81,22 @@ class ProgrammedModelCache
     named(const std::string &key,
           const std::function<MappedLayer()> &build);
 
-    /** Snapshot of the hit/miss counters. Thread-safe. */
+    /**
+     * Snapshot of the combined hit/miss counters (geometry + named
+     * sections summed — the historical single counter). Thread-safe.
+     */
     Stats stats() const;
+
+    /** Snapshot of the geometry-keyed section's counters. Thread-safe. */
+    Stats geometryStats() const;
+
+    /**
+     * Snapshot of the named (string-keyed) section's counters —
+     * heterogeneous plan sweeps lean on this section (one entry per
+     * (tag, layer, operating point)), so it is reported separately by
+     * bench/autotune. Thread-safe.
+     */
+    Stats namedStats() const;
 
     /** Distinct entries currently cached (geometry + named). */
     std::size_t size() const;
@@ -103,7 +117,8 @@ class ProgrammedModelCache
     std::map<Key, std::shared_ptr<const MappedLayer>> entries;
     std::map<std::string, std::shared_ptr<const MappedLayer>>
         namedEntries;
-    Stats stats_;
+    Stats geometryStats_;
+    Stats namedStats_;
 };
 
 } // namespace superbnn::crossbar

@@ -25,17 +25,24 @@
  *
  * Schema and key order are fixed; wall-clock values naturally vary
  * run to run, while predictions, energy, and `mismatches` are
- * deterministic.
+ * deterministic. `--digest` instead emits the byte-diffable
+ * `superbnn-serving-digest-v1` artifact: only the deterministic
+ * surface (a 64-bit FNV-1a over every response's predicted class and
+ * full score vector, plus `mismatches`), with no wall-clock fields at
+ * all — CI runs it under SUPERBNN_NUMA=off and =auto and diffs the
+ * two outputs byte for byte.
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <sys/socket.h>
@@ -124,7 +131,7 @@ socketSmoke(const std::string &path, std::size_t requests)
         char req[64];
         std::snprintf(req, sizeof(req), "predict %zu %zu\n", i % 16,
                       i + 1);
-        if (::write(fd, req, std::strlen(req)) < 0)
+        if (::send(fd, req, std::strlen(req), MSG_NOSIGNAL) < 0)
             break;
         char buf[256];
         const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
@@ -136,11 +143,23 @@ socketSmoke(const std::string &path, std::size_t requests)
         else
             std::fprintf(stderr, "loadgen: server said: %s", buf);
     }
-    (void)::write(fd, "quit\n", 5);
+    (void)::send(fd, "quit\n", 5, MSG_NOSIGNAL);
     ::close(fd);
     std::fprintf(stderr, "loadgen: socket smoke: %zu/%zu ok\n", ok,
                  requests);
     return ok == requests ? 0 : 1;
+}
+
+/** FNV-1a 64 over raw bytes, for the deterministic response digest. */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t hash)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
 }
 
 } // namespace
@@ -153,6 +172,7 @@ main(int argc, char **argv)
     std::vector<double> levels = {50.0, 200.0};
     double level_seconds = 1.0;
     std::string socket_path;
+    bool digest = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--requests" && i + 1 < argc)
@@ -163,10 +183,13 @@ main(int argc, char **argv)
             level_seconds = std::atof(argv[++i]);
         else if (arg == "--socket" && i + 1 < argc)
             socket_path = argv[++i];
+        else if (arg == "--digest")
+            digest = true;
         else {
             std::fprintf(stderr,
                          "usage: %s [--requests N] [--clients C] "
-                         "[--level-seconds S] [--socket PATH]\n",
+                         "[--level-seconds S] [--socket PATH] "
+                         "[--digest]\n",
                          argv[0]);
             return 2;
         }
@@ -214,7 +237,12 @@ main(int argc, char **argv)
         sequential = makeLeg(millisSince(t0), lat);
     }
 
-    // Leg 2: the same requests through the batching service.
+    // Leg 2: the same requests through the batching service. The
+    // predicted class and score vector of every response feed the
+    // deterministic digest; batch-composition-dependent fields
+    // (counts shares, batchSize) deliberately do not.
+    std::vector<std::pair<std::size_t, std::vector<double>>> responses(
+        requests);
     Leg batched;
     std::size_t mismatches = 0;
     std::uint64_t batches = 0;
@@ -239,6 +267,7 @@ main(int argc, char **argv)
                         test.sample(sampleIdx[i]), seeds[i]);
                     const serve::InferenceResponse r = fut.get();
                     lat[i] = r.serviceMicros;
+                    responses[i] = {r.predicted, r.scores};
                     if (r.predicted != expected[i])
                         wrong.fetch_add(1, std::memory_order_relaxed);
                 }
@@ -258,6 +287,28 @@ main(int argc, char **argv)
         energyAj = probe.energyAj;
         hardwareUs = probe.hardwareLatencyUs;
         service.stop();
+    }
+
+    if (digest) {
+        // Deterministic surface only: identical bytes whatever the
+        // wall clock, thread schedule, SUPERBNN_NUMA / SUPERBNN_PIN
+        // setting, or batch composition did this run.
+        std::uint64_t h = 14695981039346656037ULL;
+        for (std::size_t i = 0; i < requests; ++i) {
+            const std::uint64_t pred = responses[i].first;
+            h = fnv1a(&pred, sizeof(pred), h);
+            for (const double score : responses[i].second)
+                h = fnv1a(&score, sizeof(score), h);
+        }
+        std::printf("{\n");
+        std::printf(
+            "  \"schema\": \"superbnn-serving-digest-v1\",\n");
+        std::printf("  \"workload\": \"mlp-784x64x10\",\n");
+        std::printf("  \"requests\": %zu,\n", requests);
+        std::printf("  \"response_digest\": \"%016llx\",\n",
+                    static_cast<unsigned long long>(h));
+        std::printf("  \"mismatches\": %zu\n}\n", mismatches);
+        return mismatches == 0 ? 0 : 1;
     }
 
     // Leg 3: open-loop offered-QPS levels via trySubmit (never blocks

@@ -10,7 +10,8 @@
  *
  * With --requests N the server exits 0 after N predict requests have
  * been served (the CI smoke recipe: start it in the background, run
- * `loadgen --socket <path>`, and the server winds itself down);
+ * `loadgen --socket <path> --requests N` with a matching count, and
+ * the server winds itself down after draining live connections);
  * without it the server runs until SIGTERM/SIGINT.
  *
  * Service knobs come from the SUPERBNN_SERVE_* environment variables
@@ -85,10 +86,22 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    bool served_out = false;
     while (!interrupted.load()) {
-        if (stop_after > 0 && service.stats().served >= stop_after)
+        if (stop_after > 0 && service.stats().served >= stop_after) {
+            served_out = true;
             break;
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // The served-count poll can trip while a handler is still writing
+    // its final reply (or the client its closing "quit"), so a
+    // self-wind-down waits — bounded — for connections to retire
+    // before tearing the transport down mid-send.
+    if (served_out) {
+        for (int i = 0; i < 500 && server.liveConnections() > 0; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
 
     server.stop();

@@ -20,10 +20,16 @@
  * window) — never on values, scheduling, thread count, SIMD arm or
  * batch split — so ledger totals are bit-identical across
  * SUPERBNN_THREADS, every SUPERBNN_SIMD arm, and batch-of-N vs N
- * singles. Thread safety: per-tile slots are written by exactly one
- * task per forward (the pool join publishes them), the shared counters
- * are relaxed atomics (integer addition commutes, so the totals do not
- * depend on arrival order).
+ * singles. Thread safety: per-tile slots are relaxed atomics and the
+ * shared counters are relaxed atomics (integer addition commutes, so
+ * the totals do not depend on arrival order); the tile grid itself is
+ * guarded by a shared_mutex so concurrent *forwards* on one ledger —
+ * the sharded InferenceService runs one sub-batch per NUMA shard
+ * against the same evaluator — are safe even when beginForward() has
+ * to grow the grid while another shard is mid-record. Snapshots
+ * (totals()) taken while a forward is in flight see a consistent grid
+ * but an arbitrary prefix of its counts; callers wanting exact deltas
+ * must quiesce first (see InferenceService's snapshot window).
  */
 
 #ifndef SUPERBNN_AQFP_LEDGER_H
@@ -32,6 +38,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -103,16 +110,17 @@ class HardwareLedger
     /**
      * Announce a forward pass of @p samples samples over a
      * row_tiles x col_tiles tiling. Grows the tile grid (preserving
-     * coordinates) and counts the samples. NOT thread-safe — the
-     * executor calls it before launching parallel work.
+     * coordinates) and counts the samples. Thread-safe: takes the
+     * grid lock exclusively, so a concurrent forward's recordTile()
+     * calls wait out the (rare) remap instead of racing it.
      */
     void beginForward(std::size_t row_tiles, std::size_t col_tiles,
                       std::size_t samples);
 
     /**
-     * Add one tile's observed activity. Safe to call concurrently for
-     * *distinct* (rt, ct) slots within one forward (each tile is one
-     * task); the executor's pool join publishes the writes.
+     * Add one tile's observed activity. Thread-safe for any mix of
+     * slots and concurrent forwards — slot counters are relaxed
+     * atomics, so contributions commute and totals stay exact.
      */
     void recordTile(std::size_t rt, std::size_t ct,
                     const TileCounts &counts);
@@ -129,17 +137,28 @@ class HardwareLedger
     LedgerCounts totals() const;
 
     /** Tile-grid extents seen so far. */
-    std::size_t rowTiles() const { return rows_; }
-    std::size_t colTiles() const { return cols_; }
+    std::size_t rowTiles() const;
+    std::size_t colTiles() const;
 
     /** Per-tile counts (zero for never-touched coordinates). */
     TileCounts tile(std::size_t rt, std::size_t ct) const;
 
   private:
+    /** One grid slot; relaxed atomics so concurrent forwards commute. */
+    struct AtomicTileCounts
+    {
+        std::atomic<std::uint64_t> observations{0};
+        std::atomic<std::uint64_t> cycles{0};
+        std::atomic<std::uint64_t> bernoulliDraws{0};
+    };
+
+    /// Guards grid extents/storage: exclusive in reset()/beginForward()
+    /// remaps, shared everywhere else.
+    mutable std::shared_mutex gridMutex_;
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     /// Row-major rows_ x cols_ grid; slot (rt, ct) at rt * cols_ + ct.
-    std::vector<TileCounts> grid;
+    std::vector<AtomicTileCounts> grid;
 
     std::atomic<std::uint64_t> samples_{0};
     std::atomic<std::uint64_t> apcAccumulations_{0};

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "util/executor_pool.h"
+#include "util/sharded_executor_pool.h"
 #include "util/thread_pool.h"
 
 namespace superbnn::core {
@@ -194,11 +195,16 @@ DesignSpaceExplorer::explore(const aqfp::WorkloadSpec &workload,
     if (options.threads == 1) {
         for (std::size_t i = 0; i < feasible.size(); ++i)
             evaluate(i);
+    } else if (options.threads == 0) {
+        // Default concurrency spreads candidates round-robin across
+        // the topology shards (one per NUMA node; a single-node host
+        // degenerates to the historical flat pool). Slot-per-task
+        // writes make the spread unobservable in the results.
+        util::ShardedExecutorPool::shared()->parallelForSharded(
+            feasible.size(), evaluate);
     } else {
-        const std::shared_ptr<util::ThreadPool> pool =
-            options.threads == 0
-                ? util::ExecutorPool::shared()
-                : std::make_shared<util::ThreadPool>(options.threads);
+        const auto pool =
+            std::make_shared<util::ThreadPool>(options.threads);
         pool->parallelFor(feasible.size(), evaluate);
     }
 

@@ -76,11 +76,18 @@ struct LayerEnergyReport
  * activity, so accuracy evaluation doubles as energy measurement — see
  * energyReports().
  *
- * One evaluator serves one evaluation stream at a time: the const
- * evaluation methods record into the shared per-layer ledgers, so
- * concurrent classScores/predict/evaluate calls on the SAME evaluator
- * are not supported (use one evaluator per thread; they can share the
- * process-wide executor pool).
+ * Concurrency: the per-layer ledgers are safe to record into from
+ * concurrent forwards (relaxed-atomic slots — see aqfp::HardwareLedger),
+ * so concurrent classScoresSeeded calls on the SAME evaluator are
+ * supported and their *totals* stay exact; that is how the sharded
+ * InferenceService runs one sub-batch per NUMA shard. What stays
+ * single-writer is the ledger *snapshot window*: a before/after
+ * totalLedgerCounts() delta (the service's per-request attribution,
+ * energyReports' per-image normalization) is only meaningful when no
+ * OTHER evaluation stream records into these ledgers between the two
+ * snapshots — the service guarantees that by being its evaluator's
+ * sole user. Mutating calls (mapMlp/mapCnn, injectVariation*,
+ * resetLedgers) are never safe to race with evaluation.
  */
 class HardwareEvaluator
 {
@@ -279,6 +286,18 @@ class HardwareEvaluator
     const HardwarePlan &plan() const { return plan_; }
 
     /**
+     * Pin every executor of this evaluator to an explicit shard pool
+     * (one NUMA node's ThreadPool from util::ShardedExecutorPool), so
+     * its tile loops and buffers stay node-local. Applies to the
+     * current executors and to any rebuilt by a later mapMlp/mapCnn;
+     * null reverts to the plan's own threads setting. Scores are
+     * bit-identical regardless — sharding only moves work, never
+     * changes it. Note plan threads==1 cells stay sequential; the
+     * shard handle replaces only pooled execution.
+     */
+    void setExecutorPool(std::shared_ptr<util::ThreadPool> shard_pool);
+
+    /**
      * The plan resolved against the mapped model: one entry per mapped
      * cell (hidden layers in order, head last). Empty before
      * mapMlp/mapCnn.
@@ -313,6 +332,9 @@ class HardwareEvaluator
     /// path); execIndex_[i] is cell i's executor.
     std::vector<crossbar::TileExecutor> executors_;
     std::vector<std::size_t> execIndex_;
+    /// Explicit shard handle from setExecutorPool (null = none);
+    /// re-applied whenever resolvePlan rebuilds the executors.
+    std::shared_ptr<util::ThreadPool> shardPool_;
     Kind kind = Kind::None;
     std::vector<MappedCell> mapped;
     crossbar::MappedLayer headMapped;
@@ -326,6 +348,8 @@ class HardwareEvaluator
 
     /** Allocate one fresh ledger per mapped layer + head. */
     void initLedgers();
+    /** (Re)apply shardPool_ — or the plan's threads — to executors_. */
+    void applyExecutorPool();
     /**
      * Resolve plan_ against @p cell_count cells and (re)build the
      * per-distinct-window executors + cell->executor index.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/executor_pool.h"
+#include "util/sharded_executor_pool.h"
 
 namespace superbnn::core {
 
@@ -272,11 +273,17 @@ ScenarioSweep::run(const ScenarioGrid &grid,
     if (options.threads == 1) {
         for (std::size_t i = 0; i < total; ++i)
             evaluate(i);
+    } else if (options.threads == 0) {
+        // Default concurrency stripes the (corner, chip) tasks
+        // round-robin across the topology shards, so a multi-node
+        // host evaluates chips on every socket with node-local
+        // workers. Per-chip results are pure functions of the seeds,
+        // so the striping never shows up in the reduction.
+        util::ShardedExecutorPool::shared()->parallelForSharded(
+            total, evaluate);
     } else {
-        const std::shared_ptr<util::ThreadPool> pool =
-            options.threads == 0
-                ? util::ExecutorPool::shared()
-                : std::make_shared<util::ThreadPool>(options.threads);
+        const auto pool =
+            std::make_shared<util::ThreadPool>(options.threads);
         pool->parallelFor(total, evaluate);
     }
 

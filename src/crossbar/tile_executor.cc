@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/executor_pool.h"
+#include "util/sharded_executor_pool.h"
 
 namespace superbnn::crossbar {
 
@@ -56,6 +57,7 @@ TileExecutor::threads() const
 void
 TileExecutor::setThreads(std::size_t threads)
 {
+    sharedPool = false;
     if (threads == 1) {
         pool.reset();
         return;
@@ -65,6 +67,7 @@ TileExecutor::setThreads(std::size_t threads)
         // SUPERBNN_THREADS) when the pool was first created — see
         // util::ExecutorPool for the resolution-point contract.
         pool = util::ExecutorPool::shared();
+        sharedPool = true;
         return;
     }
     // An explicit count is a request for a private pool of that size
@@ -73,9 +76,28 @@ TileExecutor::setThreads(std::size_t threads)
 }
 
 void
+TileExecutor::attachPool(std::shared_ptr<util::ThreadPool> shard_pool)
+{
+    sharedPool = false;
+    pool = std::move(shard_pool);
+}
+
+void
 TileExecutor::runParallel(
     std::size_t n, const std::function<void(std::size_t)> &task) const
 {
+    // A shared-pool executor called from a shard-bound thread (an
+    // InferenceService sub-batch, a parallelForSharded task) runs on
+    // that shard's pool so nested loops stay node-local. Results are
+    // identical either way — only locality changes.
+    if (sharedPool) {
+        const std::shared_ptr<util::ThreadPool> &bound =
+            util::ShardBinding::currentPool();
+        if (bound) {
+            bound->parallelFor(n, task);
+            return;
+        }
+    }
     if (pool) {
         pool->parallelFor(n, task);
     } else {

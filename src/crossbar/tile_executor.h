@@ -200,6 +200,16 @@ class TileExecutor
      */
     void setThreads(std::size_t threads);
 
+    /**
+     * Attach this executor to an explicit pool handle — the sharded
+     * executor layer passes one NUMA shard's pool so this executor's
+     * tile loops (and the tile buffers they touch) stay node-local.
+     * Unlike setThreads(0), an explicitly attached pool is *not*
+     * rerouted by util::ShardBinding; null detaches (sequential).
+     * Outputs are bit-identical regardless of the attached pool.
+     */
+    void attachPool(std::shared_ptr<util::ThreadPool> shard_pool);
+
   private:
     std::size_t window_;
     bool useExact;
@@ -209,6 +219,11 @@ class TileExecutor
     /// issued while another executor's loop is in flight runs inline
     /// rather than racing or blocking (see ThreadPool::parallelFor).
     std::shared_ptr<util::ThreadPool> pool;
+    /// True when `pool` came from setThreads(0) (the shared pool). A
+    /// live util::ShardBinding on the calling thread then reroutes
+    /// runParallel to the bound shard, keeping nested work node-local;
+    /// private pools (setThreads(N), attachPool) are never rerouted.
+    bool sharedPool = false;
 
     /** parallelFor through the pool, or a plain loop without one. */
     void runParallel(std::size_t n,

@@ -1,7 +1,12 @@
 #include "serve/inference_service.h"
 
 #include <algorithm>
-#include <cassert>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <iterator>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/env.h"
@@ -28,38 +33,6 @@ countsDelta(const aqfp::LedgerCounts &after,
     return d;
 }
 
-/**
- * One request's share of a megabatch's activity. Every count a batch
- * accrues is per-sample identical (activity is value-independent), so
- * the division is exact — the asserts document that, they do not
- * round.
- */
-aqfp::LedgerCounts
-countsShare(const aqfp::LedgerCounts &batch, std::uint64_t n)
-{
-    assert(n > 0);
-    aqfp::LedgerCounts s;
-    assert(batch.samples % n == 0);
-    s.samples = batch.samples / n;
-    assert(batch.tileObservations % n == 0);
-    s.tileObservations = batch.tileObservations / n;
-    assert(batch.crossbarCycles % n == 0);
-    s.crossbarCycles = batch.crossbarCycles / n;
-    assert(batch.bernoulliDraws % n == 0);
-    s.bernoulliDraws = batch.bernoulliDraws / n;
-    assert(batch.apcAccumulations % n == 0);
-    s.apcAccumulations = batch.apcAccumulations / n;
-    assert(batch.apcInputBits % n == 0);
-    s.apcInputBits = batch.apcInputBits / n;
-    assert(batch.columnGroupSteps % n == 0);
-    s.columnGroupSteps = batch.columnGroupSteps / n;
-    assert(batch.bufferReadBits % n == 0);
-    s.bufferReadBits = batch.bufferReadBits / n;
-    assert(batch.bufferWriteBits % n == 0);
-    s.bufferWriteBits = batch.bufferWriteBits / n;
-    return s;
-}
-
 double
 elapsedMicros(std::chrono::steady_clock::time_point from,
               std::chrono::steady_clock::time_point to)
@@ -68,6 +41,56 @@ elapsedMicros(std::chrono::steady_clock::time_point from,
 }
 
 } // namespace
+
+namespace detail {
+
+namespace {
+
+/** @p value / @p n, throwing (naming @p field) unless exact. */
+std::uint64_t
+exactShare(std::uint64_t value, std::uint64_t n, const char *field)
+{
+    if (value % n != 0)
+        throw std::invalid_argument(
+            std::string("countsShare: ") + field + " ("
+            + std::to_string(value)
+            + ") not divisible by batch size " + std::to_string(n)
+            + " — another evaluation stream recorded into the "
+              "evaluator's ledgers during the snapshot window");
+    return value / n;
+}
+
+} // namespace
+
+aqfp::LedgerCounts
+countsShare(const aqfp::LedgerCounts &batch, std::uint64_t n)
+{
+    // The exact-divisibility contract is CHECKED (not an assert): a
+    // Release build must refuse to mis-attribute rather than silently
+    // truncate when the single-writer snapshot window is violated.
+    if (n == 0)
+        throw std::invalid_argument("countsShare: batch size is zero");
+    aqfp::LedgerCounts s;
+    s.samples = exactShare(batch.samples, n, "samples");
+    s.tileObservations =
+        exactShare(batch.tileObservations, n, "tileObservations");
+    s.crossbarCycles =
+        exactShare(batch.crossbarCycles, n, "crossbarCycles");
+    s.bernoulliDraws =
+        exactShare(batch.bernoulliDraws, n, "bernoulliDraws");
+    s.apcAccumulations =
+        exactShare(batch.apcAccumulations, n, "apcAccumulations");
+    s.apcInputBits = exactShare(batch.apcInputBits, n, "apcInputBits");
+    s.columnGroupSteps =
+        exactShare(batch.columnGroupSteps, n, "columnGroupSteps");
+    s.bufferReadBits =
+        exactShare(batch.bufferReadBits, n, "bufferReadBits");
+    s.bufferWriteBits =
+        exactShare(batch.bufferWriteBits, n, "bufferWriteBits");
+    return s;
+}
+
+} // namespace detail
 
 ServiceConfig
 ServiceConfig::fromEnv()
@@ -84,7 +107,8 @@ ServiceConfig::fromEnv()
 
 InferenceService::InferenceService(
     const core::HardwareEvaluator &evaluator, ServiceConfig config)
-    : evaluator(evaluator), cfg(config)
+    : evaluator(evaluator), cfg(config),
+      shards_(util::ShardedExecutorPool::shared())
 {
     dispatcher = std::thread([this] { dispatchLoop(); });
 }
@@ -218,7 +242,7 @@ InferenceService::serveBatch(std::vector<Pending> &batch)
     const aqfp::LedgerCounts before = evaluator.totalLedgerCounts();
     std::vector<std::vector<double>> scores;
     try {
-        scores = evaluator.classScoresSeeded(samples, seeds);
+        scores = shardedScores(samples, seeds);
     } catch (...) {
         // A failed megabatch fails every rider; futures are never
         // abandoned.
@@ -226,9 +250,24 @@ InferenceService::serveBatch(std::vector<Pending> &batch)
             p.promise.set_exception(std::current_exception());
         return;
     }
-    const aqfp::LedgerCounts share = countsShare(
-        countsDelta(evaluator.totalLedgerCounts(), before),
-        batch.size());
+    aqfp::LedgerCounts share;
+    try {
+        share = detail::countsShare(
+            countsDelta(evaluator.totalLedgerCounts(), before),
+            batch.size());
+    } catch (const std::invalid_argument &e) {
+        // Attribution failed its exactness check (an external writer
+        // raced the snapshot window). The scores themselves are still
+        // correct — serve them with a zeroed share rather than failing
+        // the requests, and say so once per process.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            std::fprintf(stderr,
+                         "superbnn: serve: %s; serving batch with "
+                         "zeroed per-request counts\n",
+                         e.what());
+        share = aqfp::LedgerCounts{};
+    }
     refreshUnitCost();
 
     const auto done = Clock::now();
@@ -247,6 +286,66 @@ InferenceService::serveBatch(std::vector<Pending> &batch)
         r.batchSize = batch.size();
         batch[i].promise.set_value(std::move(r));
     }
+}
+
+std::vector<std::vector<double>>
+InferenceService::shardedScores(
+    std::vector<Tensor> &samples,
+    const std::vector<std::uint64_t> &seeds) const
+{
+    const std::size_t shard_count = shards_->shardCount();
+    const std::size_t k = std::min(shard_count, samples.size());
+    if (k <= 1)
+        return evaluator.classScoresSeeded(samples, seeds);
+
+    // Contiguous even split: sub-batch j takes [starts[j], starts[j+1]).
+    // Each runs on its own shard-bound thread, so the evaluator's
+    // shared-pool executors route every nested tile loop to shard j's
+    // node-local pool. Bit-exactness is free: each score is a pure
+    // function of (model, sample, seed), so the partition is
+    // unobservable in the responses.
+    std::vector<std::size_t> starts(k + 1, 0);
+    for (std::size_t j = 0; j < k; ++j) {
+        std::size_t count = samples.size() / k;
+        if (j < samples.size() % k)
+            ++count;
+        starts[j + 1] = starts[j] + count;
+    }
+
+    std::vector<std::vector<std::vector<double>>> sub(k);
+    std::vector<std::exception_ptr> errors(k);
+    auto runRange = [&](std::size_t j) {
+        try {
+            const util::ShardBinding bind(j, shards_->shard(j));
+            std::vector<Tensor> part(
+                std::make_move_iterator(samples.begin() + starts[j]),
+                std::make_move_iterator(samples.begin()
+                                        + starts[j + 1]));
+            const std::vector<std::uint64_t> part_seeds(
+                seeds.begin() + starts[j],
+                seeds.begin() + starts[j + 1]);
+            sub[j] = evaluator.classScoresSeeded(part, part_seeds);
+        } catch (...) {
+            errors[j] = std::current_exception();
+        }
+    };
+    std::vector<std::thread> drivers;
+    drivers.reserve(k - 1);
+    for (std::size_t j = 1; j < k; ++j)
+        drivers.emplace_back(runRange, j);
+    runRange(0);
+    for (std::thread &t : drivers)
+        t.join();
+    for (const std::exception_ptr &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+
+    std::vector<std::vector<double>> scores;
+    scores.reserve(samples.size());
+    for (std::size_t j = 0; j < k; ++j)
+        for (std::vector<double> &s : sub[j])
+            scores.push_back(std::move(s));
+    return scores;
 }
 
 void

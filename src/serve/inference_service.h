@@ -34,8 +34,29 @@
 
 #include "aqfp/ledger.h"
 #include "core/hardware_eval.h"
+#include "util/sharded_executor_pool.h"
 
 namespace superbnn::serve {
+
+namespace detail {
+
+/**
+ * One request's exact share of a megabatch's ledger activity: every
+ * field of @p batch divided by @p n. The division is exact by
+ * construction — activity counts are value-independent and identical
+ * for every sample of a batch — and that contract is *checked*, not
+ * assumed: a zero @p n or any non-divisible field throws
+ * std::invalid_argument (naming the offending field) instead of
+ * silently truncating in Release builds. A non-divisible delta means
+ * the single-writer snapshot-window assumption was violated — some
+ * other evaluation stream recorded into the service's evaluator
+ * between the before/after totalLedgerCounts() snapshots (see
+ * core::HardwareEvaluator's concurrency notes).
+ */
+aqfp::LedgerCounts countsShare(const aqfp::LedgerCounts &batch,
+                               std::uint64_t n);
+
+} // namespace detail
 
 /**
  * Admission and batching knobs. fromEnv() overlays the defaults with
@@ -117,11 +138,16 @@ struct ServiceStats
  * The long-lived in-process inference service.
  *
  * Threading: submit()/trySubmit()/stats() are safe from any number of
- * client threads. The evaluator is driven only by the service's single
- * dispatcher thread (the evaluator's one-evaluation-stream-at-a-time
- * rule), which runs each megabatch on whatever executor concurrency
- * the evaluator was configured with — by default the process-wide
- * shared util::ExecutorPool.
+ * client threads. The service is its evaluator's sole user: only the
+ * dispatcher drives evaluation, which keeps the before/after ledger
+ * snapshot window single-writer (the attribution contract — see
+ * detail::countsShare). Within one megabatch the dispatcher may fan
+ * out: on hosts where util::ShardedExecutorPool resolves more than
+ * one shard (SUPERBNN_NUMA), the batch splits into per-shard
+ * sub-batches evaluated concurrently, each pinned to its node's pool.
+ * That is safe — the evaluator's ledgers accept concurrent forwards —
+ * and invisible in the responses, which stay bit-identical across
+ * every SUPERBNN_NUMA / SUPERBNN_PIN / thread-count setting.
  *
  * Shutdown: stop() (also run by the destructor) drains — requests
  * already admitted are still served and their futures fulfilled; only
@@ -194,11 +220,25 @@ class InferenceService
     void dispatchLoop();
     /** Evaluate one megabatch and fulfill its promises. */
     void serveBatch(std::vector<Pending> &batch);
+    /**
+     * classScoresSeeded across the sharded executor pool: with k > 1
+     * shards the megabatch splits into up to k contiguous sub-batches,
+     * one shard-bound thread each, so every shard's tile loops stay on
+     * its own NUMA node. Responses are bit-identical to the unsharded
+     * call — classScoresSeeded makes each entry a pure function of
+     * (model, sample, seed), so partitioning cannot change answers.
+     */
+    std::vector<std::vector<double>>
+    shardedScores(std::vector<Tensor> &samples,
+                  const std::vector<std::uint64_t> &seeds) const;
     /** Lazily price one image's energy/latency from the ledgers. */
     void refreshUnitCost();
 
     const core::HardwareEvaluator &evaluator;
     const ServiceConfig cfg;
+    /// The process-wide sharded pool, acquired at construction (the
+    /// SUPERBNN_NUMA / SUPERBNN_PIN resolution point for this service).
+    const std::shared_ptr<util::ShardedExecutorPool> shards_;
 
     mutable std::mutex mutex_;
     std::condition_variable wake;

@@ -14,18 +14,23 @@ namespace superbnn::serve {
 
 namespace {
 
-/** Write the whole buffer, riding out short writes and EINTR. */
+/**
+ * Write the whole buffer, riding out short writes and EINTR.
+ * send(MSG_NOSIGNAL) instead of write(): a client that disconnects
+ * mid-reply must surface as EPIPE (a clean per-connection hangup the
+ * caller handles by closing), never as a process-killing SIGPIPE.
+ */
 bool
 writeAll(int fd, const std::string &data)
 {
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return false;
+            return false; // EPIPE/ECONNRESET: peer hung up
         }
         off += static_cast<std::size_t>(n);
     }
@@ -73,7 +78,6 @@ SocketServer::~SocketServer()
 void
 SocketServer::stop()
 {
-    std::vector<std::thread> to_join;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (stopping)
@@ -81,14 +85,25 @@ SocketServer::stop()
         stopping = true;
         // Breaking the accept() and the per-connection read()s with
         // shutdown() lets every thread fall out of its blocking call.
+        // `connections` holds LIVE fds only — a handler deregisters
+        // before closing — so no shutdown() here can hit a closed or
+        // kernel-reused descriptor.
         if (listenFd >= 0)
             ::shutdown(listenFd, SHUT_RDWR);
-        for (int fd : connections)
-            ::shutdown(fd, SHUT_RDWR);
-        to_join.swap(handlers);
+        for (const auto &entry : connections)
+            ::shutdown(entry.second, SHUT_RDWR);
     }
     if (acceptor.joinable())
         acceptor.join();
+    // Wait for every handler to retire itself, then join the retired
+    // threads. Handlers never block forever here: their sockets were
+    // just shut down, so each read() returns and the handler retires.
+    std::vector<std::thread> to_join;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        retired_.wait(lock, [&] { return handlers.empty(); });
+        to_join.swap(finished);
+    }
     for (std::thread &t : to_join)
         t.join();
     {
@@ -101,6 +116,13 @@ SocketServer::stop()
     ::unlink(socketPath.c_str());
 }
 
+std::size_t
+SocketServer::liveConnections() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return connections.size();
+}
+
 void
 SocketServer::acceptLoop()
 {
@@ -111,23 +133,53 @@ SocketServer::acceptLoop()
                 continue;
             return; // listen socket shut down
         }
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping) {
-            ::close(fd);
-            return;
+        std::vector<std::thread> done;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping) {
+                ::close(fd);
+                return;
+            }
+            const std::uint64_t id = nextConnId++;
+            connections.emplace(id, fd);
+            handlers.emplace(id, std::thread([this, id, fd] {
+                                 handleConnection(id, fd);
+                             }));
+            // Reap previously retired handlers so a long-lived server
+            // under connection churn holds only live threads.
+            done.swap(finished);
         }
-        connections.push_back(fd);
-        handlers.emplace_back(
-            [this, fd] { handleConnection(fd); });
+        for (std::thread &t : done)
+            t.join();
     }
 }
 
 void
-SocketServer::handleConnection(int fd)
+SocketServer::retireConnection(std::uint64_t id, int fd)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        // Deregister FIRST: once the entry is gone, stop() can no
+        // longer shutdown() this fd, so closing it below cannot race
+        // a kernel reuse of the descriptor number.
+        connections.erase(id);
+        const auto it = handlers.find(id);
+        if (it != handlers.end()) {
+            finished.push_back(std::move(it->second));
+            handlers.erase(it);
+        }
+    }
+    ::close(fd);
+    retired_.notify_all();
+}
+
+void
+SocketServer::handleConnection(std::uint64_t id, int fd)
 {
     std::string pending;
     char buf[512];
-    for (;;) {
+    bool open = true;
+    while (open) {
         const ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n < 0 && errno == EINTR)
             continue;
@@ -140,12 +192,12 @@ SocketServer::handleConnection(int fd)
             pending.erase(0, eol + 1);
             const std::string reply = handleLine(line);
             if (reply.empty() || !writeAll(fd, reply)) {
-                ::close(fd);
-                return;
+                open = false;
+                break;
             }
         }
     }
-    ::close(fd);
+    retireConnection(id, fd);
 }
 
 std::string

@@ -24,6 +24,10 @@
 #ifndef SUPERBNN_SERVE_SERVER_H
 #define SUPERBNN_SERVE_SERVER_H
 
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -65,9 +69,26 @@ class SocketServer
 
     const std::string &path() const { return socketPath; }
 
+    /**
+     * Currently open client connections. A connection leaves this
+     * count the moment its handler deregisters it (before closing the
+     * fd), so after clients hang up the count returns to 0 — the
+     * connection-churn regression tests assert exactly that (the
+     * registry used to grow without bound and stop() would shutdown()
+     * long-closed, possibly kernel-reused descriptors).
+     */
+    std::size_t liveConnections() const;
+
   private:
     void acceptLoop();
-    void handleConnection(int fd);
+    void handleConnection(std::uint64_t id, int fd);
+    /**
+     * A finishing handler's self-retirement: deregister the connection
+     * (so stop() no longer targets its fd), THEN close the fd, and
+     * move the handler's own thread to the finished list for reaping
+     * (by the accept loop on the next accept, or by stop()).
+     */
+    void retireConnection(std::uint64_t id, int fd);
     /** One response line for one request line. Empty = close. */
     std::string handleLine(const std::string &line);
 
@@ -76,10 +97,19 @@ class SocketServer
     const std::string socketPath;
 
     int listenFd = -1;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
+    std::condition_variable retired_; ///< signals handler retirement
     bool stopping = false;
-    std::vector<int> connections;          ///< open client fds
-    std::vector<std::thread> handlers;     ///< one per connection
+    std::uint64_t nextConnId = 1;
+    /// LIVE connections only, keyed by connection id: a handler
+    /// removes its entry before closing the fd, so stop() never
+    /// shutdown()s a closed (possibly kernel-reused) descriptor and
+    /// the registry cannot grow without bound on a long-lived server.
+    std::map<std::uint64_t, int> connections;
+    /// Running handler threads by connection id; on exit each moves
+    /// itself to `finished` for joining.
+    std::map<std::uint64_t, std::thread> handlers;
+    std::vector<std::thread> finished; ///< retired handlers to join
     std::thread acceptor;
 };
 

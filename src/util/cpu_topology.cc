@@ -1,0 +1,144 @@
+#include "util/cpu_topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sched.h>
+#endif
+
+namespace superbnn::util {
+
+namespace {
+
+/** CPUs the process may run on; empty when the mask is unavailable. */
+std::vector<int>
+runnableCpus()
+{
+    std::vector<int> cpus;
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+            if (CPU_ISSET(cpu, &mask))
+                cpus.push_back(cpu);
+    }
+#endif
+    if (cpus.empty()) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        const int n = hw == 0 ? 1 : static_cast<int>(hw);
+        for (int cpu = 0; cpu < n; ++cpu)
+            cpus.push_back(cpu);
+    }
+    return cpus;
+}
+
+CpuTopology
+singleNodeFallback(std::vector<int> cpus)
+{
+    CpuTopology topo;
+    topo.nodes.push_back(CpuTopology::Node{0, std::move(cpus)});
+    return topo;
+}
+
+} // namespace
+
+std::vector<int>
+parseCpuList(const std::string &text)
+{
+    std::vector<int> cpus;
+    std::string token;
+    std::stringstream in(text);
+    while (std::getline(in, token, ',')) {
+        token.erase(std::remove_if(token.begin(), token.end(),
+                                   [](unsigned char c) {
+                                       return std::isspace(c) != 0;
+                                   }),
+                    token.end());
+        if (token.empty())
+            continue;
+        char *end = nullptr;
+        const long lo = std::strtol(token.c_str(), &end, 10);
+        if (end == token.c_str() || lo < 0)
+            continue;
+        long hi = lo;
+        if (*end == '-') {
+            const char *hi_begin = end + 1;
+            hi = std::strtol(hi_begin, &end, 10);
+            if (end == hi_begin || hi < lo)
+                continue;
+        }
+        if (*end != '\0')
+            continue;
+        for (long cpu = lo; cpu <= hi; ++cpu)
+            cpus.push_back(static_cast<int>(cpu));
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+std::size_t
+CpuTopology::totalCpus() const
+{
+    std::size_t total = 0;
+    for (const Node &node : nodes)
+        total += node.cpus.size();
+    return total;
+}
+
+CpuTopology
+CpuTopology::detect()
+{
+    std::vector<int> runnable = runnableCpus();
+#if defined(__linux__)
+    CpuTopology topo;
+    DIR *dir = ::opendir("/sys/devices/system/node");
+    if (dir != nullptr) {
+        for (const dirent *entry = ::readdir(dir); entry != nullptr;
+             entry = ::readdir(dir)) {
+            const std::string name(entry->d_name);
+            if (name.rfind("node", 0) != 0 || name.size() <= 4)
+                continue;
+            char *end = nullptr;
+            const long id = std::strtol(name.c_str() + 4, &end, 10);
+            if (*end != '\0' || id < 0)
+                continue;
+            std::ifstream file("/sys/devices/system/node/" + name
+                               + "/cpulist");
+            if (!file)
+                continue;
+            std::string text((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+            std::vector<int> cpus = parseCpuList(text);
+            // Keep only CPUs the process is actually allowed to use;
+            // a node fully masked out by cpusets contributes nothing.
+            std::vector<int> usable;
+            std::set_intersection(cpus.begin(), cpus.end(),
+                                  runnable.begin(), runnable.end(),
+                                  std::back_inserter(usable));
+            if (!usable.empty())
+                topo.nodes.push_back(
+                    Node{static_cast<int>(id), std::move(usable)});
+        }
+        ::closedir(dir);
+    }
+    if (!topo.nodes.empty()) {
+        std::sort(topo.nodes.begin(), topo.nodes.end(),
+                  [](const Node &a, const Node &b) {
+                      return a.id < b.id;
+                  });
+        return topo;
+    }
+#endif
+    return singleNodeFallback(std::move(runnable));
+}
+
+} // namespace superbnn::util

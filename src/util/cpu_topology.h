@@ -1,0 +1,58 @@
+/**
+ * @file
+ * NUMA topology discovery for the sharded executor pool.
+ *
+ * On Linux the detector parses `/sys/devices/system/node/node<k>/cpulist`
+ * and intersects each node's CPU list with the process affinity mask
+ * (`sched_getaffinity`), so a container or `taskset` restriction never
+ * yields shards whose CPUs the process cannot run on. Everywhere else —
+ * and on Linux hosts where sysfs is absent or unreadable — detection
+ * degrades gracefully to a single node covering every runnable CPU.
+ * Detection is pure observation: it never mutates affinity itself.
+ */
+
+#ifndef SUPERBNN_UTIL_CPU_TOPOLOGY_H
+#define SUPERBNN_UTIL_CPU_TOPOLOGY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace superbnn::util {
+
+/** A snapshot of the NUMA nodes visible to this process. */
+struct CpuTopology
+{
+    /** One NUMA node and the runnable CPUs it contributes. */
+    struct Node
+    {
+        int id = 0;               ///< kernel node id (nodeN)
+        std::vector<int> cpus;    ///< runnable CPU ids, ascending
+    };
+
+    /** Nodes with at least one runnable CPU, ascending by id. Never
+     *  empty after detect(): the fallback is one node 0. */
+    std::vector<Node> nodes;
+
+    /** Sum of cpus across nodes. */
+    std::size_t totalCpus() const;
+
+    /**
+     * Detect the topology as described in the file header. Always
+     * returns at least one node with at least one CPU.
+     */
+    static CpuTopology detect();
+};
+
+/**
+ * Parse a kernel cpulist string ("0-3,8,10-11") into ascending CPU
+ * ids. Whitespace (including the sysfs trailing newline) is ignored;
+ * malformed ranges contribute nothing rather than throwing — the
+ * caller treats an empty result as "node not usable". Exposed for unit
+ * tests.
+ */
+std::vector<int> parseCpuList(const std::string &text);
+
+} // namespace superbnn::util
+
+#endif // SUPERBNN_UTIL_CPU_TOPOLOGY_H

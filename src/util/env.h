@@ -30,6 +30,24 @@ namespace superbnn::util {
 std::size_t envSize(const char *name, std::size_t fallback,
                     std::size_t min_value = 0);
 
+/**
+ * The environment variable @p name parsed as a boolean flag: "1" is
+ * true, "0" is false, unset falls back to @p fallback, and any other
+ * value is ignored with the warn-once stderr notice. Used by the
+ * SUPERBNN_PIN worker-affinity knob.
+ */
+bool envFlag(const char *name, bool fallback);
+
+/**
+ * Emit the shared "ignoring invalid NAME value 'VALUE' (want WANT);
+ * using USED" notice, at most once per distinct (name, value) pair per
+ * process. Exposed so non-integer knobs (SUPERBNN_NUMA's
+ * auto|off|<n> grammar) report malformed values with the exact same
+ * contract as envSize().
+ */
+void envWarnOnce(const char *name, const char *value, const char *want,
+                 const char *used);
+
 } // namespace superbnn::util
 
 #endif // SUPERBNN_UTIL_ENV_H

@@ -1,47 +1,26 @@
 #include "util/executor_pool.h"
 
-#include <mutex>
+#include "util/sharded_executor_pool.h"
 
 namespace superbnn::util {
 
-namespace {
-
-// Function-local statics so the mutex and slot are constructed on
-// first use regardless of TU initialization order; the pool itself is
-// torn down (workers joined) when the last holder releases it or at
-// static destruction.
-std::mutex &
-poolMutex()
-{
-    static std::mutex m;
-    return m;
-}
-
-std::shared_ptr<ThreadPool> &
-poolSlot()
-{
-    static std::shared_ptr<ThreadPool> slot;
-    return slot;
-}
-
-} // namespace
+// ExecutorPool is now a facade over the sharded pool: the "shared
+// pool" is shard 0, so flat consumers and sharded consumers draw from
+// one thread budget (SUPERBNN_THREADS) instead of double-subscribing
+// the machine. With SUPERBNN_NUMA=off or a single-node host there is
+// exactly one shard and behavior is identical to the historical flat
+// pool, resolution point (first shared() call) included.
 
 std::shared_ptr<ThreadPool>
 ExecutorPool::shared()
 {
-    const std::lock_guard<std::mutex> lock(poolMutex());
-    std::shared_ptr<ThreadPool> &slot = poolSlot();
-    if (!slot)
-        slot = std::make_shared<ThreadPool>(
-            ThreadPool::defaultThreadCount());
-    return slot;
+    return ShardedExecutorPool::shared()->shard(0);
 }
 
 void
 ExecutorPool::reset()
 {
-    const std::lock_guard<std::mutex> lock(poolMutex());
-    poolSlot().reset();
+    ShardedExecutorPool::reset();
 }
 
 } // namespace superbnn::util

@@ -16,6 +16,12 @@
  * embedders) to drop it so the next shared() re-reads the
  * environment. Executors holding the old pool keep it alive until
  * they are reconfigured or destroyed.
+ *
+ * Since the topology-aware sharding work this class is a facade over
+ * util::ShardedExecutorPool: shared() returns shard 0 and reset()
+ * drops the whole sharded instance (so SUPERBNN_NUMA / SUPERBNN_PIN
+ * are re-read alongside SUPERBNN_THREADS). On single-node hosts or
+ * with SUPERBNN_NUMA=off that shard *is* the historical flat pool.
  */
 
 #ifndef SUPERBNN_UTIL_EXECUTOR_POOL_H

@@ -14,6 +14,9 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -454,4 +457,193 @@ TEST(ServiceConfig, FromEnvParsesAndIgnoresInvalid)
     unsetenv("SUPERBNN_SERVE_MAX_BATCH");
     unsetenv("SUPERBNN_SERVE_LINGER_US");
     unsetenv("SUPERBNN_SERVE_QUEUE");
+}
+
+// ---------------------------------------------------------------------
+// Attribution division contract
+// ---------------------------------------------------------------------
+
+TEST(CountsShare, ExactDivisionSplitsEveryField)
+{
+    aqfp::LedgerCounts batch;
+    batch.samples = 12;
+    batch.tileObservations = 40;
+    batch.crossbarCycles = 400;
+    batch.bernoulliDraws = 4000;
+    batch.apcAccumulations = 44;
+    batch.apcInputBits = 440;
+    batch.columnGroupSteps = 48;
+    batch.bufferReadBits = 480;
+    batch.bufferWriteBits = 4800;
+    const aqfp::LedgerCounts share = detail::countsShare(batch, 4);
+    EXPECT_EQ(share.samples, 3u);
+    EXPECT_EQ(share.tileObservations, 10u);
+    EXPECT_EQ(share.crossbarCycles, 100u);
+    EXPECT_EQ(share.bernoulliDraws, 1000u);
+    EXPECT_EQ(share.apcAccumulations, 11u);
+    EXPECT_EQ(share.apcInputBits, 110u);
+    EXPECT_EQ(share.columnGroupSteps, 12u);
+    EXPECT_EQ(share.bufferReadBits, 120u);
+    EXPECT_EQ(share.bufferWriteBits, 1200u);
+}
+
+TEST(CountsShare, NonDivisibleFieldIsACheckedError)
+{
+    // A remainder means another evaluation stream recorded into the
+    // ledgers during the snapshot window — previously only an assert,
+    // i.e. silent corruption in release builds. Now a real error.
+    aqfp::LedgerCounts batch;
+    batch.samples = 8;
+    batch.tileObservations = 17; // not divisible by 4
+    EXPECT_THROW(detail::countsShare(batch, 4), std::invalid_argument);
+    try {
+        detail::countsShare(batch, 4);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("tileObservations"),
+                  std::string::npos)
+            << "error must name the offending field: " << e.what();
+    }
+}
+
+TEST(CountsShare, ZeroBatchSizeRejected)
+{
+    EXPECT_THROW(detail::countsShare(aqfp::LedgerCounts{}, 0),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Connection lifecycle regressions
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Blocking connect to the server's Unix socket; asserts on failure. */
+int
+connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+/** Spin until the server's live-connection count drops to @p want. */
+bool
+waitForLiveConnections(const SocketServer &server, std::size_t want)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.liveConnections() != want) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(SocketServer, ConnectionChurnThenStopIsClean)
+{
+    // Regression: the connection registry used to only ever grow, so a
+    // churny client pushed it toward an fd/thread leak and stop()
+    // would shutdown() descriptors that were closed long ago — and
+    // possibly reused by the kernel for something else entirely.
+    // Handlers now self-retire (deregister, THEN close), so the live
+    // count returns to zero between clients and stop() only ever
+    // touches genuinely open sockets. Run under TSan/ASan in CI.
+    const auto eval = makeMlpEvaluator();
+    data::Dataset dataset;
+    dataset.samples = Tensor(Shape{2, 32});
+    dataset.labels = {0, 1};
+    for (std::size_t i = 0; i < dataset.samples.size(); ++i)
+        dataset.samples[i] = hashedFloat(i);
+
+    InferenceService service(*eval, quickConfig());
+    const std::string path = "/tmp/superbnn-churn-test.sock";
+    SocketServer server(service, dataset, path);
+
+    for (int round = 0; round < 24; ++round) {
+        const int fd = connectUnix(path);
+        if (round % 3 == 0) {
+            // A polite client: predict, then quit.
+            const std::string req = "predict 0 7\n";
+            ASSERT_EQ(::write(fd, req.c_str(), req.size()),
+                      static_cast<ssize_t>(req.size()));
+            char buf[256];
+            ASSERT_GT(::read(fd, buf, sizeof(buf)), 0);
+            (void)::write(fd, "quit\n", 5);
+        }
+        // The rest hang up without a word (or right after the reply).
+        ::close(fd);
+        ASSERT_TRUE(waitForLiveConnections(server, 0))
+            << "round " << round << ": handler never retired, "
+            << server.liveConnections() << " connections still live";
+    }
+
+    // A few connections left open across stop(): it must hang them
+    // up, join every handler, and return without touching stale fds.
+    const int open1 = connectUnix(path);
+    const int open2 = connectUnix(path);
+    EXPECT_TRUE(waitForLiveConnections(server, 2));
+    server.stop();
+    ::close(open1);
+    ::close(open2);
+    EXPECT_EQ(server.liveConnections(), 0u);
+    service.stop();
+}
+
+TEST(SocketServer, ClientHangupMidReplySurvives)
+{
+    // Regression: replies went out via write(), so a client that
+    // disconnected before reading killed the whole process with
+    // SIGPIPE. send(MSG_NOSIGNAL) turns that into EPIPE, which the
+    // handler treats as a clean hangup. This test pipelines a burst
+    // of requests and slams the connection shut, then proves the
+    // server is still alive by serving a fresh client.
+    const auto eval = makeMlpEvaluator();
+    data::Dataset dataset;
+    dataset.samples = Tensor(Shape{2, 32});
+    dataset.labels = {0, 1};
+    for (std::size_t i = 0; i < dataset.samples.size(); ++i)
+        dataset.samples[i] = hashedFloat(i);
+
+    InferenceService service(*eval, quickConfig());
+    const std::string path = "/tmp/superbnn-hangup-test.sock";
+    SocketServer server(service, dataset, path);
+
+    for (int round = 0; round < 4; ++round) {
+        const int fd = connectUnix(path);
+        std::string burst;
+        for (int i = 0; i < 16; ++i)
+            burst += "predict 0 " + std::to_string(round * 16 + i) + "\n";
+        ASSERT_EQ(::write(fd, burst.c_str(), burst.size()),
+                  static_cast<ssize_t>(burst.size()));
+        // Hang up without reading a byte: the handler's sends now hit
+        // a closed peer mid-burst.
+        ::close(fd);
+        ASSERT_TRUE(waitForLiveConnections(server, 0)) << "round "
+                                                       << round;
+    }
+
+    // The process (and the server) survived; a new client is served.
+    const int fd = connectUnix(path);
+    const std::string req = "predict 1 99\n";
+    ASSERT_EQ(::write(fd, req.c_str(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    char buf[256];
+    const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+    ASSERT_GT(n, 0);
+    buf[n] = '\0';
+    EXPECT_EQ(std::string(buf).rfind("ok ", 0), 0u) << buf;
+    (void)::write(fd, "quit\n", 5);
+    ::close(fd);
+    server.stop();
+    service.stop();
 }
